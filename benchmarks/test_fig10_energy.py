@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 10 (energy relative to DCNN, per network)."""
+
+from repro.experiments import fig10_energy
+
+
+def test_fig10_energy(benchmark, warm_simulations):
+    reports = benchmark(fig10_energy.run)
+
+    # Every network: DCNN-opt and SCNN use less energy than DCNN overall.
+    for report in reports.values():
+        assert report.network_dcnn_opt < 1.0
+        assert report.network_scnn < 1.0
+
+    improvements = fig10_energy.average_improvements(reports)
+    # Paper: DCNN-opt ~2.0x, SCNN ~2.3x average improvement over DCNN.
+    assert 1.5 < improvements["DCNN-opt"] < 2.6
+    assert 1.8 < improvements["SCNN"] < 4.0
+    assert improvements["SCNN"] > improvements["DCNN-opt"]
+
+
+def test_fig10_dense_input_layer_is_worst_case(warm_simulations):
+    """AlexNet conv1 (100% input activation density) is SCNN's worst layer."""
+    reports = fig10_energy.run(networks=("alexnet",))
+    rows = {row.label: row for row in reports["AlexNet"].rows}
+    conv1 = rows["conv1"].scnn
+    others = [row.scnn for label, row in rows.items() if label not in ("conv1", "all")]
+    assert conv1 > max(others)

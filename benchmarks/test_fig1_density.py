@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 1 (per-layer density and work reduction)."""
+
+from repro.experiments import fig1_density
+
+
+def test_fig1_density(benchmark, warm_simulations):
+    reports = benchmark(fig1_density.run)
+
+    assert set(reports) == {"AlexNet", "GoogLeNet", "VGGNet"}
+    for report in reports.values():
+        for row in report.rows:
+            assert 0.0 < row.weight_density <= 1.0
+            assert 0.0 < row.activation_density <= 1.0
+        # Paper: typical layers reduce work by ~4x, reaching up to ~10x.
+        assert 2.0 < report.average_work_reduction < 10.0
+
+    # Input layers are fully dense (no ReLU before them).
+    alexnet_rows = {row.layer: row for row in reports["AlexNet"].rows}
+    assert alexnet_rows["conv1"].activation_density > 0.99
+    # GoogLeNet's weight density reaches its minimum around 30%.
+    googlenet_min = min(row.weight_density for row in reports["GoogLeNet"].rows)
+    assert 0.2 < googlenet_min < 0.4

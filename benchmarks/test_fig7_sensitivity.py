@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 7 (performance/energy vs density sweep)."""
+
+from repro.experiments import fig7_sensitivity
+
+
+def test_fig7_density_sweep(benchmark):
+    points = benchmark.pedantic(
+        fig7_sensitivity.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    by_density = {round(p.density, 2): p for p in points}
+
+    # Figure 7a: at full density SCNN reaches only ~79% of DCNN performance...
+    assert 0.6 < 1.0 / by_density[1.0].latency_ratio < 0.9
+    # ...and wins by an order of magnitude or more at 10% density (paper ~24x).
+    assert by_density[0.1].scnn_speedup > 12.0
+    # The performance crossover sits in the paper's ~0.85 neighbourhood.
+    assert 0.7 <= fig7_sensitivity.performance_crossover(points) <= 0.9
+
+    # Figure 7b: DCNN-opt never uses more energy than DCNN.
+    for point in points:
+        assert point.energy["DCNN-opt"] <= point.energy["DCNN"] * (1 + 1e-9)
+    # SCNN's energy crossovers: vs DCNN near ~0.83, vs DCNN-opt near ~0.60.
+    assert 0.7 <= fig7_sensitivity.energy_crossover(points, "DCNN") <= 0.9
+    assert 0.5 <= fig7_sensitivity.energy_crossover(points, "DCNN-opt") <= 0.7

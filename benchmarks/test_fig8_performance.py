@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 8 (SCNN speedup over DCNN, per network)."""
+
+from repro.experiments import fig8_performance
+
+
+def test_fig8_performance(benchmark, warm_simulations):
+    reports = benchmark(fig8_performance.run)
+
+    # Paper network-wide speedups: AlexNet 2.37x, GoogLeNet 2.19x, VGGNet 3.52x.
+    # The reproduction must preserve the winners and the rough factors.
+    alexnet = reports["AlexNet"]
+    googlenet = reports["GoogLeNet"]
+    vggnet = reports["VGGNet"]
+    assert 1.8 < alexnet.network_speedup < 3.8
+    assert 1.6 < googlenet.network_speedup < 3.5
+    assert 2.5 < vggnet.network_speedup < 6.5
+    # Ordering: VGGNet benefits most, GoogLeNet least (as in the paper).
+    assert vggnet.network_speedup > alexnet.network_speedup > googlenet.network_speedup
+
+    # The oracle bound is never exceeded, and the network average lands in the
+    # paper's 2.7x regime.
+    for report in reports.values():
+        assert report.oracle_speedup >= report.network_speedup
+        for row in report.rows:
+            assert row.oracle >= row.scnn * 0.999
+    assert 2.0 < fig8_performance.average_speedup(reports) < 4.5
+
+
+def test_fig8_googlenet_gap_widens_in_late_modules(warm_simulations):
+    """The SCNN-vs-oracle gap grows from early to late inception modules."""
+    reports = fig8_performance.run(networks=("googlenet",))
+    rows = {row.label: row for row in reports["GoogLeNet"].rows}
+    early_gap = rows["IC_3a"].oracle / rows["IC_3a"].scnn
+    late_gap = rows["IC_5b"].oracle / rows["IC_5b"].scnn
+    assert late_gap > early_gap

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 9 (multiplier utilization and PE idle time)."""
+
+from repro.experiments import fig9_utilization
+
+
+def test_fig9_utilization(benchmark, warm_simulations):
+    reports = benchmark(fig9_utilization.run)
+
+    for report in reports.values():
+        for row in report.rows:
+            assert 0.0 < row.multiplier_utilization <= 1.0
+            assert 0.0 <= row.idle_fraction < 1.0
+
+    googlenet = {row.label: row for row in reports["GoogLeNet"].rows}
+    # Paper: the last inception modules fall below ~20% multiplier utilization
+    # because 1x1 working sets cannot fill the 4x4 arrays.
+    assert googlenet["IC_5b"].multiplier_utilization < 0.25
+    # Utilization degrades from the early to the late modules.
+    assert (
+        googlenet["IC_3a"].multiplier_utilization
+        > googlenet["IC_5b"].multiplier_utilization
+    )
+    # Barrier idling grows as the per-PE working sets shrink.
+    assert googlenet["IC_5b"].idle_fraction > googlenet["IC_3a"].idle_fraction

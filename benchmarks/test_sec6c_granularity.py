@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the Section VI-C PE-granularity study."""
+
+from repro.experiments import sec6c_granularity
+
+
+def test_sec6c_pe_granularity(benchmark, warm_simulations):
+    points = benchmark.pedantic(
+        sec6c_granularity.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    by_count = {point.num_pes: point for point in points}
+
+    # Paper (GoogLeNet): 64 PEs ~11% faster than 4 PEs at equal throughput,
+    # with better multiplier utilization (59% vs 35%).
+    speedup = sec6c_granularity.speedup_64_vs_4(points)
+    assert 1.0 < speedup < 2.0
+    assert by_count[64].average_utilization > by_count[4].average_utilization
+    # Fewer, larger PEs suffer less barrier idling but worse fragmentation.
+    assert by_count[4].average_idle <= by_count[64].average_idle

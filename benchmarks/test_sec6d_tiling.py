@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the Section VI-D DRAM-tiling study."""
+
+from repro.experiments import sec6d_tiling
+
+
+def test_sec6d_dram_tiling(benchmark, warm_simulations):
+    rows = benchmark(sec6d_tiling.run)
+    stats = sec6d_tiling.summary(rows)
+
+    # Paper: 9 of the 72 evaluated layers need DRAM tiling, all in VGGNet,
+    # with a 5-62% energy penalty (mean ~18%).
+    assert stats["evaluated_layers"] == 72.0
+    assert 5 <= stats["spilled_layers"] <= 12
+    spilled = [row for row in rows if not row.fits_on_chip]
+    assert all(row.network == "VGGNet" for row in spilled)
+    assert 0.0 < stats["mean_penalty"] < 0.35
+    assert stats["max_penalty"] < 0.9

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table I (network characteristics)."""
+
+from repro.experiments import table1_networks
+
+
+def test_table1_networks(benchmark):
+    rows = benchmark(table1_networks.run)
+    by_name = {row.name: row for row in rows}
+
+    # Paper Table I values (2-byte data type).
+    assert by_name["AlexNet"].conv_layers == 5
+    assert by_name["GoogLeNet"].conv_layers == 54
+    assert by_name["VGGNet"].conv_layers == 13
+    assert abs(by_name["AlexNet"].total_multiplies_billions - 0.69) < 0.06
+    assert abs(by_name["VGGNet"].total_multiplies_billions - 15.3) < 0.4
+    assert abs(by_name["VGGNet"].max_layer_weight_mb - 4.49) < 0.3
+    assert abs(by_name["GoogLeNet"].max_layer_weight_mb - 1.32) < 0.1

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table II (SCNN design parameters)."""
+
+from repro.experiments import table2_design_params
+
+
+def test_table2_design_parameters(benchmark):
+    table = benchmark(table2_design_params.run)
+
+    assert table["# PEs"][0] == 64
+    assert table["# Multipliers"][0] == 1024
+    assert table["Multiply array (FxI)"][0] == "4x4"
+    assert table["Accumulator banks"][0] == 32
+    assert table["IARAM/OARAM (each, KB)"][0] == 10
+    assert table["Weight FIFO (entries)"][0] == 50

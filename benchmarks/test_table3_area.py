@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table III (SCNN PE area breakdown)."""
+
+from repro.experiments import table3_area
+
+
+def test_table3_area(benchmark):
+    breakdown = benchmark(table3_area.run)
+
+    # Paper: PE total 0.123 mm^2, accelerator total 7.9 mm^2 (TSMC 16nm).
+    assert abs(breakdown["PE total"] - 0.123) < 0.005
+    assert abs(breakdown["Accelerator total (64 PEs)"] - 7.9) < 0.3
+    # Memories dominate, multiplier array is a small fraction (6%).
+    assert breakdown["Accumulator buffers"] > breakdown["Multiplier array"]
+    assert breakdown["IARAM + OARAM"] > breakdown["Multiplier array"]

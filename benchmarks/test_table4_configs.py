@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table IV (accelerator configurations)."""
+
+from repro.experiments import table4_configs
+
+
+def test_table4_configurations(benchmark):
+    rows = {row.name: row for row in benchmark(table4_configs.run)}
+
+    assert set(rows) == {"DCNN", "DCNN-opt", "SCNN"}
+    for row in rows.values():
+        assert row.num_pes == 64
+        assert row.multipliers == 1024
+    # SCNN: less activation SRAM, more area (sparse-dataflow overheads).
+    assert rows["SCNN"].sram_bytes < rows["DCNN"].sram_bytes
+    assert rows["SCNN"].area_mm2 > rows["DCNN"].area_mm2
+    assert abs(rows["SCNN"].area_mm2 - 7.9) < 0.3
+    assert abs(rows["DCNN"].area_mm2 - 5.9) < 0.3

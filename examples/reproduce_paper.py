@@ -1,0 +1,56 @@
+"""Reproduce every table and figure of the paper's evaluation in one run.
+
+This driver simply chains the experiment modules (one per table/figure, see
+DESIGN.md section 4) and prints their output.  Expect a few minutes of
+runtime: the Figure 8/9/10 experiments simulate all 72 convolutional layers
+of AlexNet, GoogLeNet and VGGNet at full size.
+
+Run with::
+
+    python examples/reproduce_paper.py
+"""
+
+import time
+
+from repro.experiments import (
+    fig1_density,
+    fig7_sensitivity,
+    fig8_performance,
+    fig9_utilization,
+    fig10_energy,
+    sec6c_granularity,
+    sec6d_tiling,
+    table1_networks,
+    table2_design_params,
+    table3_area,
+    table4_configs,
+)
+
+EXPERIMENTS = (
+    ("Table I — network characteristics", table1_networks),
+    ("Table II — SCNN design parameters", table2_design_params),
+    ("Table III — SCNN PE area breakdown", table3_area),
+    ("Table IV — accelerator configurations", table4_configs),
+    ("Figure 1 — per-layer density and work reduction", fig1_density),
+    ("Figure 7 — sensitivity to density (analytical model)", fig7_sensitivity),
+    ("Figure 8 — performance vs DCNN", fig8_performance),
+    ("Figure 9 — multiplier utilization and idle time", fig9_utilization),
+    ("Figure 10 — energy vs DCNN", fig10_energy),
+    ("Section VI-C — PE granularity", sec6c_granularity),
+    ("Section VI-D — DRAM tiling for large layers", sec6d_tiling),
+)
+
+
+def main() -> None:
+    started = time.time()
+    for title, module in EXPERIMENTS:
+        banner = f"== {title} =="
+        print("\n" + "=" * len(banner))
+        print(banner)
+        print("=" * len(banner) + "\n")
+        module.main()
+    print(f"\nAll experiments completed in {time.time() - started:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup entry point (the environment has no `wheel` package, so the
+PEP 660 editable-install path is unavailable; `pip install -e .` falls back to
+`setup.py develop` through this file)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of SCNN: An Accelerator for Compressed-sparse "
+        "Convolutional Neural Networks (ISCA 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

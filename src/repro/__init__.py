@@ -1,0 +1,81 @@
+"""repro — a reproduction of SCNN (ISCA 2017).
+
+SCNN is an accelerator for compressed-sparse convolutional neural networks:
+it exploits weight sparsity (from pruning) and activation sparsity (from
+ReLU) with the PT-IS-CP-sparse dataflow, keeping both operands compressed end
+to end and performing only the multiplies whose operands are both non-zero.
+
+The public API exposes, in dependency order:
+
+* ``repro.tensor`` — the compressed-sparse encodings,
+* ``repro.nn`` — the network catalogues, pruning and workload generation,
+* ``repro.dataflow`` — loop nests, tiling and dataflow descriptions,
+* ``repro.scnn`` — the SCNN / DCNN functional and cycle-level simulators,
+* ``repro.timeloop`` — the analytical cycle, energy and area models,
+* ``repro.experiments`` — one driver per paper table and figure.
+
+Quickstart::
+
+    from repro import get_network, build_network_workloads, simulate_network
+
+    network = get_network("alexnet")
+    result = simulate_network(network, seed=0)
+    print(f"SCNN speedup over DCNN: {result.network_speedup:.2f}x")
+"""
+
+from repro.nn import (
+    ConvLayerSpec,
+    LayerWorkload,
+    Network,
+    alexnet,
+    available_networks,
+    build_network_workloads,
+    get_network,
+    googlenet,
+    vggnet,
+)
+from repro.scnn import (
+    DCNN_CONFIG,
+    DCNN_OPT_CONFIG,
+    SCNN_CONFIG,
+    AcceleratorConfig,
+    run_functional_layer,
+    simulate_layer,
+    simulate_layer_cycles,
+    simulate_network,
+)
+from repro.timeloop import (
+    accelerator_area_mm2,
+    estimate_dense_layer,
+    estimate_scnn_layer,
+    layer_energy,
+    pe_area_mm2,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "ConvLayerSpec",
+    "DCNN_CONFIG",
+    "DCNN_OPT_CONFIG",
+    "LayerWorkload",
+    "Network",
+    "SCNN_CONFIG",
+    "__version__",
+    "accelerator_area_mm2",
+    "alexnet",
+    "available_networks",
+    "build_network_workloads",
+    "estimate_dense_layer",
+    "estimate_scnn_layer",
+    "get_network",
+    "googlenet",
+    "layer_energy",
+    "pe_area_mm2",
+    "run_functional_layer",
+    "simulate_layer",
+    "simulate_layer_cycles",
+    "simulate_network",
+    "vggnet",
+]

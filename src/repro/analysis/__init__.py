@@ -1,0 +1,21 @@
+"""Analysis helpers: network characteristics, density statistics, reporting."""
+
+from repro.analysis.aggregate import geometric_mean, weighted_mean
+from repro.analysis.metrics import (
+    DensityRow,
+    NetworkCharacteristics,
+    density_table,
+    network_characteristics,
+)
+from repro.analysis.reporting import format_table, format_value
+
+__all__ = [
+    "DensityRow",
+    "NetworkCharacteristics",
+    "density_table",
+    "format_table",
+    "format_value",
+    "geometric_mean",
+    "network_characteristics",
+    "weighted_mean",
+]

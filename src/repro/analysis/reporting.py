@@ -1,0 +1,56 @@
+"""Plain-text table formatting for experiment output.
+
+Every experiment driver prints the rows or series of the paper table/figure
+it reproduces; this module keeps that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}g}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Format a list of rows as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(_line(list(headers)))
+    lines.append(_line(["-" * width for width in widths]))
+    lines.extend(_line(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,311 @@
+"""Planar tiling of a layer across the PE array (the "PT" in PT-IS-CP).
+
+The activation plane is split into ``Wt x Ht`` tiles, one per PE; each tile
+extends through all input channels.  Because the convolution window slides
+across tile boundaries, each PE's output region overlaps its neighbours' by a
+halo whose partial sums are exchanged at the end of every output-channel
+group (the paper uses output halos).
+
+This module also provides the fast, fully vectorised non-zero-count queries
+the cycle-level model is built on, so whole networks can be simulated without
+materialising compressed blocks in Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.layers import ConvLayerSpec
+from repro.tensor.coordinates import halo_extent
+from repro.tensor.formats import TileExtent, partition_plane
+
+
+def pe_grid_for(num_pes: int) -> Tuple[int, int]:
+    """Choose the most square ``rows x cols`` grid with ``rows * cols == num_pes``."""
+    if num_pes <= 0:
+        raise ValueError("number of PEs must be positive")
+    rows = int(np.sqrt(num_pes))
+    while rows > 1 and num_pes % rows:
+        rows -= 1
+    return rows, num_pes // rows
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """How one layer is mapped onto the PE array.
+
+    Attributes:
+        spec: the layer being mapped.
+        pe_rows, pe_cols: PE array grid.
+        group_size: output-channel group size ``Kc``.
+        input_tiles: planar extent of each PE's input tile (row-major PE order).
+        output_tiles: planar extent of each PE's owned output region.
+        halo_width: output columns/rows of partial sums spilled to a neighbour.
+    """
+
+    spec: ConvLayerSpec
+    pe_rows: int
+    pe_cols: int
+    group_size: int
+    input_tiles: Tuple[TileExtent, ...]
+    output_tiles: Tuple[TileExtent, ...]
+    halo_width: int
+    halo_height: int
+
+    @property
+    def num_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def num_groups(self) -> int:
+        return -(-self.spec.out_channels // self.group_size)
+
+    def group_channels(self, group: int) -> Tuple[int, ...]:
+        k_lo = group * self.group_size
+        k_hi = min(self.spec.out_channels, k_lo + self.group_size)
+        return tuple(range(k_lo, k_hi))
+
+    def accumulator_entries_per_group(self) -> int:
+        """Dense partial-sum entries a PE holds for one output-channel group.
+
+        The accumulator covers the PE's owned output tile plus the output
+        halo on each side (paper: ``Kc x (Wt + R - 1) x (Ht + S - 1)``).
+        """
+        widest = max(tile.width for tile in self.output_tiles)
+        tallest = max(tile.height for tile in self.output_tiles)
+        return (
+            self.group_size
+            * (widest + 2 * self.halo_width)
+            * (tallest + 2 * self.halo_height)
+        )
+
+    def halo_fraction(self) -> float:
+        """Fraction of accumulator entries that lie in the halo region."""
+        widest = max(tile.width for tile in self.output_tiles)
+        tallest = max(tile.height for tile in self.output_tiles)
+        owned = widest * tallest
+        total = (widest + 2 * self.halo_width) * (tallest + 2 * self.halo_height)
+        if total == 0:
+            return 0.0
+        return 1.0 - owned / total
+
+
+def plan_layer(
+    spec: ConvLayerSpec,
+    *,
+    num_pes: int = 64,
+    group_size: int = 8,
+    pe_rows: int | None = None,
+    pe_cols: int | None = None,
+) -> TilingPlan:
+    """Build the tiling plan of one layer for a given PE array size.
+
+    The input plane is split as evenly as possible across the PE grid.  Small
+    layers (planes smaller than the grid) simply leave some PEs without work,
+    which is exactly the load-imbalance effect the paper's Figure 9 reports.
+    """
+    if pe_rows is None or pe_cols is None:
+        pe_rows, pe_cols = pe_grid_for(num_pes)
+    rows = min(pe_rows, spec.input_height)
+    cols = min(pe_cols, spec.input_width)
+    # Keep the grid size constant (idle PEs get empty tiles) so barrier and
+    # utilization statistics are computed over the physical array.
+    input_tiles = _padded_tiles(
+        partition_plane(spec.input_height, spec.input_width, rows, cols),
+        pe_rows,
+        pe_cols,
+        rows,
+        cols,
+    )
+    output_tiles = _padded_tiles(
+        partition_plane(spec.output_height, spec.output_width, rows, cols),
+        pe_rows,
+        pe_cols,
+        rows,
+        cols,
+    )
+    return TilingPlan(
+        spec=spec,
+        pe_rows=pe_rows,
+        pe_cols=pe_cols,
+        group_size=group_size,
+        input_tiles=tuple(input_tiles),
+        output_tiles=tuple(output_tiles),
+        halo_width=halo_extent(spec.filter_width, spec.stride),
+        halo_height=halo_extent(spec.filter_height, spec.stride),
+    )
+
+
+def _padded_tiles(
+    tiles: List[TileExtent],
+    pe_rows: int,
+    pe_cols: int,
+    used_rows: int,
+    used_cols: int,
+) -> List[TileExtent]:
+    """Expand a ``used_rows x used_cols`` tile list to the full PE grid.
+
+    PEs outside the used sub-grid receive empty tiles so every per-PE array
+    in the cycle model has one entry per physical PE.
+    """
+    if used_rows == pe_rows and used_cols == pe_cols:
+        return tiles
+    grid: List[TileExtent] = []
+    for r in range(pe_rows):
+        for c in range(pe_cols):
+            if r < used_rows and c < used_cols:
+                grid.append(tiles[r * used_cols + c])
+            else:
+                grid.append(TileExtent(row=r, col=c, x_lo=0, x_hi=0, y_lo=0, y_hi=0))
+    return grid
+
+
+def activation_phase_nonzeros(
+    activations: np.ndarray, plan: TilingPlan, stride: int, padding: int = 0
+) -> np.ndarray:
+    """Non-zero activations per (PE, input channel, stride phase).
+
+    For a strided convolution the Cartesian product is decomposed by stride
+    phase: an activation at column ``x`` can only produce valid outputs with
+    filter columns ``r`` satisfying ``(x + pad - r) % stride == 0``, so the
+    activation stream of each (PE, channel) block is split into
+    ``stride * stride`` phase sub-streams that each pair with exactly one
+    weight phase sub-stream.  For ``stride == 1`` there is a single phase and
+    this reduces to :func:`activation_tile_nonzeros`.
+
+    Returns:
+        Integer array of shape ``(num_pes, C, stride * stride)`` where the
+        phase index is ``(y % stride) * stride + (x % stride)``.
+    """
+    activations = np.asarray(activations)
+    if activations.ndim != 3:
+        raise ValueError(f"expected (C, H, W) activations, got {activations.shape}")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    num_c = activations.shape[0]
+    phases = stride * stride
+    counts = np.zeros((plan.num_pes, num_c, phases), dtype=np.int64)
+    if stride == 1:
+        counts[:, :, 0] = activation_tile_nonzeros(activations, plan)
+        return counts
+    mask = activations != 0
+    for pe_index, tile in enumerate(plan.input_tiles):
+        if tile.size == 0:
+            continue
+        for py in range(stride):
+            for px in range(stride):
+                sub = mask[
+                    :,
+                    tile.y_lo + ((py - tile.y_lo) % stride) : tile.y_hi : stride,
+                    tile.x_lo + ((px - tile.x_lo) % stride) : tile.x_hi : stride,
+                ]
+                counts[pe_index, :, py * stride + px] = sub.sum(axis=(1, 2))
+    return counts
+
+
+def weight_phase_nonzeros(
+    weights: np.ndarray,
+    group_size: int,
+    stride: int,
+    padding: int = 0,
+) -> np.ndarray:
+    """Non-zero weights per (output-channel group, input channel, *activation* phase).
+
+    The phase axis is indexed by the activation phase each weight sub-stream
+    pairs with, so the cycle model can match activation and weight phase
+    sub-streams element-wise: an activation at phase ``(py, px)`` pairs with
+    weights whose filter offsets satisfy ``r % stride == (px + pad) % stride``
+    and ``s % stride == (py + pad) % stride``.
+
+    Returns:
+        Integer array of shape ``(num_groups, C', stride * stride)``.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise ValueError(f"expected (K, C, S, R) weights, got {weights.shape}")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    num_k, num_c, filt_h, filt_w = weights.shape
+    num_groups = -(-num_k // group_size)
+    phases = stride * stride
+    counts = np.zeros((num_groups, num_c, phases), dtype=np.int64)
+    if stride == 1:
+        counts[:, :, 0] = weight_group_nonzeros(weights, group_size)
+        return counts
+    mask = weights != 0
+    for py in range(stride):
+        for px in range(stride):
+            s_phase = (py + padding) % stride
+            r_phase = (px + padding) % stride
+            sub = mask[:, :, s_phase::stride, r_phase::stride]
+            per_channel = sub.reshape(num_k, num_c, -1).sum(axis=2)
+            for group in range(num_groups):
+                k_lo = group * group_size
+                counts[group, :, py * stride + px] = per_channel[
+                    k_lo : k_lo + group_size
+                ].sum(axis=0)
+    return counts
+
+
+def weight_group_nonzeros(weights: np.ndarray, group_size: int) -> np.ndarray:
+    """Non-zero weight count per (output-channel group, input channel).
+
+    Args:
+        weights: dense weights of shape ``(K, C', S, R)``.
+        group_size: output-channel group size ``Kc``.
+
+    Returns:
+        Integer array of shape ``(num_groups, C')``.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise ValueError(f"expected (K, C, S, R) weights, got {weights.shape}")
+    if group_size <= 0:
+        raise ValueError("group size must be positive")
+    num_k, num_c = weights.shape[:2]
+    per_channel = np.count_nonzero(weights.reshape(num_k, num_c, -1), axis=2)
+    num_groups = -(-num_k // group_size)
+    counts = np.zeros((num_groups, num_c), dtype=np.int64)
+    for group in range(num_groups):
+        k_lo = group * group_size
+        counts[group] = per_channel[k_lo : k_lo + group_size].sum(axis=0)
+    return counts
+
+
+def activation_tile_nonzeros(
+    activations: np.ndarray, plan: TilingPlan
+) -> np.ndarray:
+    """Non-zero activation count per (PE, input channel).
+
+    Args:
+        activations: dense input activations of shape ``(C, H, W)``.
+        plan: tiling plan whose input tiles define the per-PE regions.
+
+    Returns:
+        Integer array of shape ``(num_pes, C)``.
+    """
+    activations = np.asarray(activations)
+    if activations.ndim != 3:
+        raise ValueError(f"expected (C, H, W) activations, got {activations.shape}")
+    num_c = activations.shape[0]
+    mask = activations != 0
+    counts = np.zeros((plan.num_pes, num_c), dtype=np.int64)
+    for pe_index, tile in enumerate(plan.input_tiles):
+        if tile.size == 0:
+            continue
+        counts[pe_index] = mask[:, tile.y_lo : tile.y_hi, tile.x_lo : tile.x_hi].sum(
+            axis=(1, 2)
+        )
+    return counts
+
+
+def activation_tile_totals(activations: np.ndarray, plan: TilingPlan) -> np.ndarray:
+    """Dense element count per (PE, input channel) — the denominator of density."""
+    num_c = np.asarray(activations).shape[0]
+    totals = np.zeros((plan.num_pes, num_c), dtype=np.int64)
+    for pe_index, tile in enumerate(plan.input_tiles):
+        totals[pe_index] = tile.size
+    return totals

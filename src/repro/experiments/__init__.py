@@ -1,0 +1,6 @@
+"""Experiment drivers: one module per paper table or figure.
+
+Each module exposes a ``run()`` function that returns structured results and
+a ``main()`` entry point that prints the same rows/series the paper reports.
+See DESIGN.md section 4 for the experiment index.
+"""

@@ -1,0 +1,106 @@
+"""Command-line entry point: ``python -m repro.experiments.cli <experiment>``.
+
+Lists and runs the experiment drivers (one per paper table/figure) so the
+evaluation can be regenerated without writing any Python.  ``python -m repro``
+forwards here as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Sequence
+
+from repro.experiments import (
+    fig1_density,
+    fig7_sensitivity,
+    fig8_performance,
+    fig9_utilization,
+    fig10_energy,
+    sec6c_granularity,
+    sec6d_tiling,
+    table1_networks,
+    table2_design_params,
+    table3_area,
+    table4_configs,
+)
+
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (table1_networks, "Table I: network characteristics"),
+    "table2": (table2_design_params, "Table II: SCNN design parameters"),
+    "table3": (table3_area, "Table III: SCNN PE area breakdown"),
+    "table4": (table4_configs, "Table IV: accelerator configurations"),
+    "fig1": (fig1_density, "Figure 1: per-layer density and work reduction"),
+    "fig7": (fig7_sensitivity, "Figure 7: sensitivity to density"),
+    "fig8": (fig8_performance, "Figure 8: performance vs DCNN"),
+    "fig9": (fig9_utilization, "Figure 9: utilization and idle time"),
+    "fig10": (fig10_energy, "Figure 10: energy vs DCNN"),
+    "sec6c": (sec6c_granularity, "Section VI-C: PE granularity"),
+    "sec6d": (sec6d_tiling, "Section VI-D: DRAM tiling"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the SCNN paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids to run (default: all); use --list to see them",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    return parser
+
+
+def list_experiments() -> str:
+    lines = ["Available experiments:"]
+    for key, (_, description) in EXPERIMENTS.items():
+        lines.append(f"  {key:8s} {description}")
+    lines.append("  all      run every experiment in order")
+    return "\n".join(lines)
+
+
+def run_experiments(names: Sequence[str]) -> List[str]:
+    """Run the named experiments (or all of them) and return their ids."""
+    if not names or "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(EXPERIMENTS)}"
+        )
+    executed = []
+    for name in names:
+        module, description = EXPERIMENTS[name]
+        banner = f"== {description} =="
+        print("\n" + banner)
+        started = time.time()
+        module.main()
+        print(f"[{name} completed in {time.time() - started:.1f} s]")
+        executed.append(name)
+    return executed
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        print(list_experiments())
+        return 0
+    try:
+        run_experiments(args.experiments)
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

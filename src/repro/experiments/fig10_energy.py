@@ -1,0 +1,112 @@
+"""Figure 10: per-layer energy of DCNN-opt and SCNN relative to DCNN.
+
+Paper landmarks: DCNN-opt improves energy by ~2.0x over DCNN and SCNN by
+~2.3x on average; dense input layers (AlexNet conv1, VGG conv1_1) are the
+worst case for SCNN because the crossbar and banked-accumulator overheads are
+not amortised by skipped work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import (
+    EVALUATED_NETWORKS,
+    PAPER_AVERAGE_ENERGY_REDUCTION,
+    PAPER_DCNN_OPT_ENERGY_REDUCTION,
+    cached_simulation,
+)
+
+
+@dataclass
+class EnergyRow:
+    """One bar group of Figure 10 (energies relative to DCNN, lower is better)."""
+
+    label: str
+    dcnn: float
+    dcnn_opt: float
+    scnn: float
+
+
+@dataclass
+class EnergyReport:
+    network: str
+    rows: List[EnergyRow]
+    network_dcnn_opt: float
+    network_scnn: float
+
+
+def run(networks: tuple = EVALUATED_NETWORKS, seed: int = 0) -> Dict[str, EnergyReport]:
+    reports: Dict[str, EnergyReport] = {}
+    for name in networks:
+        simulation = cached_simulation(name, seed)
+        rows = []
+        for module in simulation.modules():
+            members = [layer for layer in simulation.layers if layer.module == module]
+            dcnn = sum(layer.energy["DCNN"].total for layer in members)
+            dcnn_opt = sum(layer.energy["DCNN-opt"].total for layer in members)
+            scnn = sum(layer.energy["SCNN"].total for layer in members)
+            rows.append(
+                EnergyRow(
+                    label=module,
+                    dcnn=1.0,
+                    dcnn_opt=dcnn_opt / dcnn if dcnn else 0.0,
+                    scnn=scnn / dcnn if dcnn else 0.0,
+                )
+            )
+        rows.append(
+            EnergyRow(
+                label="all",
+                dcnn=1.0,
+                dcnn_opt=simulation.network_energy_ratio("DCNN-opt"),
+                scnn=simulation.network_energy_ratio("SCNN"),
+            )
+        )
+        reports[simulation.network.name] = EnergyReport(
+            network=simulation.network.name,
+            rows=rows,
+            network_dcnn_opt=simulation.network_energy_ratio("DCNN-opt"),
+            network_scnn=simulation.network_energy_ratio("SCNN"),
+        )
+    return reports
+
+
+def average_improvements(reports: Dict[str, EnergyReport]) -> Dict[str, float]:
+    """Average energy-efficiency improvement factors over DCNN."""
+    dcnn_opt = [1.0 / report.network_dcnn_opt for report in reports.values()]
+    scnn = [1.0 / report.network_scnn for report in reports.values()]
+    return {
+        "DCNN-opt": sum(dcnn_opt) / len(dcnn_opt),
+        "SCNN": sum(scnn) / len(scnn),
+    }
+
+
+def main() -> str:
+    reports = run()
+    sections = []
+    for report in reports.values():
+        table_rows = [
+            (row.label, "1.00", f"{row.dcnn_opt:.2f}", f"{row.scnn:.2f}")
+            for row in report.rows
+        ]
+        table = format_table(
+            ["Layer", "DCNN", "DCNN-opt", "SCNN"],
+            table_rows,
+            title=f"Figure 10: {report.network} energy (relative to DCNN)",
+        )
+        sections.append(table)
+    improvements = average_improvements(reports)
+    sections.append(
+        f"Average improvement over DCNN — DCNN-opt: {improvements['DCNN-opt']:.2f}x "
+        f"(paper {PAPER_DCNN_OPT_ENERGY_REDUCTION:.1f}x), "
+        f"SCNN: {improvements['SCNN']:.2f}x (paper {PAPER_AVERAGE_ENERGY_REDUCTION:.1f}x)"
+    )
+    output = "\n\n".join(sections)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

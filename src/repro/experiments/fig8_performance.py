@@ -1,0 +1,118 @@
+"""Figure 8: per-layer and network-wide speedup of SCNN over DCNN.
+
+For each evaluated network the cycle-level model reports, per layer (per
+inception module for GoogLeNet, as in the paper) and for the whole network,
+the speedup of SCNN and of the oracular SCNN over the dense DCNN baseline.
+
+Paper landmarks: network-wide speedups of 2.37x (AlexNet), 2.19x (GoogLeNet)
+and 3.52x (VGGNet), 2.7x on average, with SCNN(oracle) widening the gap in
+the later, smaller layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.aggregate import geometric_mean
+from repro.analysis.reporting import format_table
+from repro.experiments.common import (
+    EVALUATED_NETWORKS,
+    PAPER_NETWORK_SPEEDUP,
+    cached_simulation,
+)
+from repro.scnn.simulator import NetworkSimulation
+
+
+@dataclass
+class SpeedupRow:
+    """One bar group of Figure 8 (a layer, a module, or the whole network)."""
+
+    label: str
+    dcnn: float
+    scnn: float
+    oracle: float
+
+
+@dataclass
+class NetworkSpeedupReport:
+    """Figure 8 data of one network."""
+
+    network: str
+    rows: List[SpeedupRow]
+    network_speedup: float
+    oracle_speedup: float
+    paper_speedup: float
+
+
+def _per_module_rows(simulation: NetworkSimulation) -> List[SpeedupRow]:
+    rows = []
+    for module in simulation.modules():
+        speedups = simulation.module_speedup(module)
+        rows.append(
+            SpeedupRow(
+                label=module,
+                dcnn=1.0,
+                scnn=speedups["SCNN"],
+                oracle=speedups["SCNN (oracle)"],
+            )
+        )
+    return rows
+
+
+def run(networks: tuple = EVALUATED_NETWORKS, seed: int = 0) -> Dict[str, NetworkSpeedupReport]:
+    """Per-layer/module and network speedups for every evaluated network."""
+    reports: Dict[str, NetworkSpeedupReport] = {}
+    for name in networks:
+        simulation = cached_simulation(name, seed)
+        rows = _per_module_rows(simulation)
+        rows.append(
+            SpeedupRow(
+                label="all",
+                dcnn=1.0,
+                scnn=simulation.network_speedup,
+                oracle=simulation.oracle_network_speedup,
+            )
+        )
+        reports[simulation.network.name] = NetworkSpeedupReport(
+            network=simulation.network.name,
+            rows=rows,
+            network_speedup=simulation.network_speedup,
+            oracle_speedup=simulation.oracle_network_speedup,
+            paper_speedup=PAPER_NETWORK_SPEEDUP.get(simulation.network.name, 0.0),
+        )
+    return reports
+
+
+def average_speedup(reports: Dict[str, NetworkSpeedupReport]) -> float:
+    """Average of the network-wide speedups (paper: 2.7x)."""
+    return geometric_mean([report.network_speedup for report in reports.values()])
+
+
+def main() -> str:
+    reports = run()
+    sections = []
+    for report in reports.values():
+        table_rows = [
+            (row.label, "1.00", f"{row.scnn:.2f}", f"{row.oracle:.2f}")
+            for row in report.rows
+        ]
+        table = format_table(
+            ["Layer", "DCNN/DCNN-opt", "SCNN", "SCNN (oracle)"],
+            table_rows,
+            title=f"Figure 8: {report.network} speedup over DCNN",
+        )
+        sections.append(
+            table
+            + f"\nNetwork speedup: {report.network_speedup:.2f}x "
+            f"(paper: {report.paper_speedup:.2f}x)"
+        )
+    overall = average_speedup(reports)
+    sections.append(f"Average network speedup: {overall:.2f}x (paper: 2.7x)")
+    output = "\n\n".join(sections)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

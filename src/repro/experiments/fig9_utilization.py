@@ -1,0 +1,102 @@
+"""Figure 9: multiplier-array utilization and inter-PE barrier idle time.
+
+Per layer (per inception module for GoogLeNet), report the average
+multiplier-array utilization of SCNN and the fraction of cycles PEs spend
+idle at the output-channel-group barrier.
+
+Paper landmarks: utilization drops in the later, smaller layers (below 20%
+for GoogLeNet's last inception modules) and the barrier idle fraction grows,
+because small per-PE working sets cannot fill the 4x4 multiplier array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import EVALUATED_NETWORKS, cached_simulation
+
+
+@dataclass
+class UtilizationRow:
+    """One x-axis point of Figure 9."""
+
+    label: str
+    multiplier_utilization: float
+    idle_fraction: float
+
+
+@dataclass
+class UtilizationReport:
+    network: str
+    rows: List[UtilizationRow]
+    average_utilization: float
+    average_idle: float
+
+
+def run(networks: tuple = EVALUATED_NETWORKS, seed: int = 0) -> Dict[str, UtilizationReport]:
+    reports: Dict[str, UtilizationReport] = {}
+    for name in networks:
+        simulation = cached_simulation(name, seed)
+        rows = []
+        for module in simulation.modules():
+            stats = simulation.module_utilization(module)
+            rows.append(
+                UtilizationRow(
+                    label=module,
+                    multiplier_utilization=stats["multiplier_utilization"],
+                    idle_fraction=stats["idle_fraction"],
+                )
+            )
+        total_cycles = sum(layer.scnn.cycles for layer in simulation.layers)
+        avg_util = 0.0
+        avg_idle = 0.0
+        if total_cycles:
+            avg_util = (
+                sum(
+                    layer.scnn.multiplier_utilization * layer.scnn.cycles
+                    for layer in simulation.layers
+                )
+                / total_cycles
+            )
+            avg_idle = (
+                sum(
+                    layer.scnn.idle_fraction * layer.scnn.cycles
+                    for layer in simulation.layers
+                )
+                / total_cycles
+            )
+        reports[simulation.network.name] = UtilizationReport(
+            network=simulation.network.name,
+            rows=rows,
+            average_utilization=avg_util,
+            average_idle=avg_idle,
+        )
+    return reports
+
+
+def main() -> str:
+    sections = []
+    for report in run().values():
+        table_rows = [
+            (row.label, f"{row.multiplier_utilization:.2f}", f"{row.idle_fraction:.2f}")
+            for row in report.rows
+        ]
+        table = format_table(
+            ["Layer", "Multiplier util.", "PE idle fraction"],
+            table_rows,
+            title=f"Figure 9: {report.network} utilization",
+        )
+        sections.append(
+            table
+            + f"\nCycle-weighted average utilization: {report.average_utilization:.2f}, "
+            f"idle fraction: {report.average_idle:.2f}"
+        )
+    output = "\n\n".join(sections)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Table I: network characteristics of AlexNet, GoogLeNet and VGGNet.
+
+Reproduces the paper's Table I — number of convolutional layers, maximum
+per-layer weight and (input) activation footprints at two bytes per value,
+and the total multiplies of one inference pass through the convolutional
+layers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import NetworkCharacteristics, network_characteristics
+from repro.analysis.reporting import format_table
+from repro.experiments.common import EVALUATED_NETWORKS, cached_network
+
+# Paper-reported values for side-by-side comparison.
+PAPER_TABLE_I = {
+    "AlexNet": (5, 1.73, 0.31, 0.69),
+    "GoogLeNet": (54, 1.32, 1.52, 1.1),
+    "VGGNet": (13, 4.49, 6.12, 15.3),
+}
+
+
+def run() -> List[NetworkCharacteristics]:
+    """Compute the Table I row of every evaluated network."""
+    return [network_characteristics(cached_network(name)) for name in EVALUATED_NETWORKS]
+
+
+def main() -> str:
+    rows = []
+    for row in run():
+        paper = PAPER_TABLE_I.get(row.name, ("-", "-", "-", "-"))
+        rows.append(
+            (
+                row.name,
+                row.conv_layers,
+                f"{row.max_layer_weight_mb:.2f}",
+                f"{row.max_layer_activation_mb:.2f}",
+                f"{row.total_multiplies_billions:.2f}",
+                f"{paper[0]} / {paper[1]} / {paper[2]} / {paper[3]}",
+            )
+        )
+    table = format_table(
+        [
+            "Network",
+            "# Conv layers",
+            "Max wt (MB)",
+            "Max act (MB)",
+            "Multiplies (B)",
+            "Paper (layers/wt/act/mult)",
+        ],
+        rows,
+        title="Table I: network characteristics",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

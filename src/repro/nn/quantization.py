@@ -1,0 +1,131 @@
+"""Fixed-point quantization substrate.
+
+SCNN's datapath is 16-bit multipliers feeding 24-bit accumulators (paper
+Table II).  The simulators in this repository compute in floating point for
+clarity; this module provides the quantization layer needed to check that the
+catalogue workloads actually fit those widths:
+
+* :func:`quantize` maps a float tensor onto a signed fixed-point grid,
+* :func:`quantization_error` reports the induced error, and
+* :func:`accumulator_headroom` checks whether a layer's dot products can
+  overflow a 24-bit accumulator given its operand magnitudes and non-zero
+  counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import ConvLayerSpec
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``total_bits`` including the sign."""
+
+    total_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError("a signed fixed-point format needs at least 2 bits")
+        if not 0 <= self.fraction_bits < self.total_bits:
+            raise ValueError(
+                f"fraction_bits must be in [0, {self.total_bits}), got "
+                f"{self.fraction_bits}"
+            )
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** -self.fraction_bits
+
+    @property
+    def max_value(self) -> float:
+        return (2 ** (self.total_bits - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(2 ** (self.total_bits - 1)) * self.scale
+
+
+# The paper's datapath widths.
+WEIGHT_FORMAT = FixedPointFormat(total_bits=16, fraction_bits=14)
+ACTIVATION_FORMAT = FixedPointFormat(total_bits=16, fraction_bits=12)
+ACCUMULATOR_FORMAT = FixedPointFormat(total_bits=24, fraction_bits=12)
+
+
+def quantize(tensor: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Round ``tensor`` to the fixed-point grid of ``fmt`` (with saturation).
+
+    Zero always maps to zero, so quantization never changes the sparsity
+    pattern — the property the compressed formats rely on.
+    """
+    tensor = np.asarray(tensor, dtype=float)
+    quantized = np.round(tensor / fmt.scale) * fmt.scale
+    return np.clip(quantized, fmt.min_value, fmt.max_value)
+
+
+def quantization_error(tensor: np.ndarray, fmt: FixedPointFormat) -> float:
+    """Largest absolute element-wise error introduced by quantization."""
+    tensor = np.asarray(tensor, dtype=float)
+    if tensor.size == 0:
+        return 0.0
+    return float(np.abs(quantize(tensor, fmt) - tensor).max())
+
+
+@dataclass(frozen=True)
+class HeadroomReport:
+    """Worst-case accumulator occupancy of one layer."""
+
+    worst_case_sum: float
+    accumulator_limit: float
+    headroom_bits: float
+    overflows: bool
+
+
+def accumulator_headroom(
+    spec: ConvLayerSpec,
+    weights: np.ndarray,
+    activations: np.ndarray,
+    fmt: FixedPointFormat = ACCUMULATOR_FORMAT,
+) -> HeadroomReport:
+    """Check whether a layer's partial sums can overflow the accumulator.
+
+    Uses a safe (conservative) bound: the largest output magnitude is at most
+    ``max|w| * max|a| * (non-zero products per output)``, where the per-output
+    product count is bounded by the reduction depth ``C' x R x S``.
+    """
+    weights = np.asarray(weights, dtype=float)
+    activations = np.asarray(activations, dtype=float)
+    reduction_depth = (
+        (spec.in_channels // spec.groups) * spec.filter_height * spec.filter_width
+    )
+    max_weight = float(np.abs(weights).max()) if weights.size else 0.0
+    max_activation = float(np.abs(activations).max()) if activations.size else 0.0
+    worst_case = max_weight * max_activation * reduction_depth
+    limit = fmt.max_value
+    headroom = float("inf")
+    if worst_case > 0:
+        headroom = np.log2(limit / worst_case) if worst_case < limit else -np.log2(
+            worst_case / limit
+        )
+    return HeadroomReport(
+        worst_case_sum=worst_case,
+        accumulator_limit=limit,
+        headroom_bits=float(headroom),
+        overflows=worst_case > limit,
+    )
+
+
+def quantize_workload(
+    weights: np.ndarray,
+    activations: np.ndarray,
+    *,
+    weight_format: FixedPointFormat = WEIGHT_FORMAT,
+    activation_format: FixedPointFormat = ACTIVATION_FORMAT,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize a layer workload to the paper's operand formats."""
+    return quantize(weights, weight_format), quantize(activations, activation_format)

@@ -1,0 +1,94 @@
+"""Dense baseline accelerators: DCNN and DCNN-opt (PT-IS-DP-dense).
+
+The dense baseline provisions the same 1,024 multipliers as SCNN but operates
+on uncompressed data with a dot-product inner operation: every weight and
+activation — zero or not — occupies a multiplier slot.  DCNN-opt adds two
+energy optimisations (zero-operand gating and DRAM activation compression)
+that do not change the cycle count, so both share this performance model.
+
+A well-provisioned dense accelerator keeps its multipliers busy except for
+edge effects: each PE processes its planar tile's output pixels, and for
+every (output pixel, output channel) pair it streams ``ceil(C' * R * S / F)``
+dot-product steps; the ``I`` lanes of the multiplier array are filled across
+(pixel, output-channel) pairs by the layer sequencer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dataflow.tiling import TilingPlan, plan_layer
+from repro.nn.layers import ConvLayerSpec
+from repro.scnn.config import AcceleratorConfig, DCNN_CONFIG
+
+
+@dataclass
+class DenseLayerResult:
+    """Cycle statistics of one layer on the dense DCNN baseline."""
+
+    spec: ConvLayerSpec
+    config_name: str
+    cycles: int
+    busy_cycles_per_pe: np.ndarray
+    multiplies: int
+    multiplier_utilization: float
+    idle_fraction: float
+
+
+def simulate_dcnn_layer(
+    spec: ConvLayerSpec,
+    config: AcceleratorConfig = DCNN_CONFIG,
+    *,
+    plan: Optional[TilingPlan] = None,
+) -> DenseLayerResult:
+    """Cycle count of one layer on the dense baseline.
+
+    Only the layer shape matters — the dense dataflow performs every multiply
+    regardless of operand values.
+    """
+    if plan is None:
+        pe_rows, pe_cols = config.pe_grid
+        plan = plan_layer(
+            spec,
+            num_pes=config.num_pes,
+            group_size=config.output_channel_group,
+            pe_rows=pe_rows,
+            pe_cols=pe_cols,
+        )
+    f_width = config.multipliers_f
+    i_width = config.multipliers_i
+    c_per_group = spec.in_channels // spec.groups
+    dot_steps_per_output = -(
+        -(c_per_group * spec.filter_height * spec.filter_width) // f_width
+    )
+
+    busy = np.zeros(plan.num_pes, dtype=np.int64)
+    for pe_index, tile in enumerate(plan.output_tiles):
+        if tile.size == 0:
+            continue
+        outputs = tile.size * spec.out_channels
+        busy[pe_index] = -(-outputs * dot_steps_per_output // i_width)
+
+    cycles = int(busy.max()) if busy.size else 0
+    multiplies = spec.multiplies
+    utilization = 0.0
+    if cycles > 0:
+        utilization = multiplies / (
+            float(cycles) * plan.num_pes * config.multipliers_per_pe
+        )
+    idle = 0.0
+    denom = cycles * plan.num_pes
+    if denom > 0:
+        idle = max(0.0, 1.0 - float(busy.sum()) / denom)
+    return DenseLayerResult(
+        spec=spec,
+        config_name=config.name,
+        cycles=cycles,
+        busy_cycles_per_pe=busy,
+        multiplies=multiplies,
+        multiplier_utilization=float(utilization),
+        idle_fraction=float(idle),
+    )

@@ -1,0 +1,113 @@
+"""Post-processing unit (PPU) model.
+
+When a PE finishes an output-channel group, its PPU (paper Section IV):
+
+1. exchanges the halo partial sums with the neighbouring PEs,
+2. applies the point-wise non-linear activation (ReLU), and optionally
+   pooling and dropout, and
+3. compresses the resulting output activations into the run-length sparse
+   format and writes them to the OARAM.
+
+The functional simulator performs step 1 implicitly (it sums each PE's
+drained accumulator, halo included, into the global output plane); this
+module models steps 2 and 3 explicitly — including the amount of OARAM
+traffic and the cycles a PPU with a given throughput needs — so the drain
+phase can be studied on its own and reused by the end-to-end inference path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.reference import max_pool2d, relu
+from repro.scnn.config import AcceleratorConfig, SCNN_CONFIG
+from repro.tensor.formats import CompressedActivations
+
+
+@dataclass(frozen=True)
+class PPUResult:
+    """Outcome of post-processing one layer's output activations."""
+
+    output: np.ndarray
+    output_density: float
+    compressed_bits: int
+    dense_bits: int
+    oaram_values_written: int
+    drain_cycles: int
+    fits_in_oaram: bool
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bits == 0:
+            return float("inf")
+        return self.dense_bits / self.compressed_bits
+
+
+def apply_ppu(
+    accumulated: np.ndarray,
+    config: AcceleratorConfig = SCNN_CONFIG,
+    *,
+    apply_relu: bool = True,
+    pool_window: int = 0,
+    pool_stride: int = 2,
+    dropout_keep: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+    values_per_cycle: int = 4,
+) -> PPUResult:
+    """Post-process one layer's accumulated partial sums.
+
+    Args:
+        accumulated: dense pre-activation output of shape ``(K, H, W)`` (the
+            concatenation of all PEs' drained accumulators after halo
+            exchange).
+        config: accelerator configuration (supplies the OARAM capacity and
+            index width used for the compression accounting).
+        apply_relu: apply the ReLU non-linearity (the paper's default).
+        pool_window: if non-zero, apply ``pool_window x pool_window`` max
+            pooling with ``pool_stride`` before compression.
+        dropout_keep: inference-time dropout keep probability; values are
+            scaled by it (the paper lists dropout among the PPU functions;
+            at inference it is a pure scaling).
+        rng: unused unless a future stochastic dropout mode is requested;
+            accepted so callers can thread a generator through uniformly.
+        values_per_cycle: PPU drain throughput used for the cycle estimate.
+
+    Returns:
+        A :class:`PPUResult` with the post-processed tensor, its compressed
+        OARAM footprint and the drain cycle estimate.
+    """
+    accumulated = np.asarray(accumulated, dtype=float)
+    if accumulated.ndim != 3:
+        raise ValueError(f"expected (K, H, W) output, got shape {accumulated.shape}")
+    if not 0.0 < dropout_keep <= 1.0:
+        raise ValueError(f"dropout_keep must be in (0, 1], got {dropout_keep}")
+    if values_per_cycle <= 0:
+        raise ValueError("values_per_cycle must be positive")
+
+    output = accumulated
+    if apply_relu:
+        output = relu(output)
+    if pool_window:
+        output = max_pool2d(output, pool_window, pool_stride)
+    if dropout_keep < 1.0:
+        output = output * dropout_keep
+
+    compressed = CompressedActivations(output, index_bits=max(config.index_bits, 1))
+    density = float(np.count_nonzero(output)) / output.size if output.size else 0.0
+    stored_values = compressed.statistics.stored_elements
+    # The PPU must read every accumulator entry once (dense drain) and write
+    # only the stored (compressed) values to the OARAM.
+    drain_cycles = -(-(accumulated.size + stored_values) // values_per_cycle)
+    oaram_capacity_bits = config.oaram_bytes * 8 * config.num_pes
+    return PPUResult(
+        output=output,
+        output_density=density,
+        compressed_bits=compressed.storage_bits(),
+        dense_bits=compressed.dense_storage_bits(),
+        oaram_values_written=stored_values,
+        drain_cycles=int(drain_cycles),
+        fits_in_oaram=compressed.storage_bits() <= oaram_capacity_bits,
+    )

@@ -1,0 +1,160 @@
+"""Design-space exploration on top of the analytical models.
+
+The paper motivates its design point (8x8 PEs of 4x4 multipliers, 32
+accumulator banks, Kc = 8) with individual sensitivity arguments.  This
+module packages that style of study into a reusable API: define a set of
+candidate :class:`repro.scnn.config.AcceleratorConfig` instances, evaluate
+each on a workload suite with the analytical cycle/energy/area models, and
+extract the Pareto frontier over (latency, energy, area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.nn.densities import network_sparsity
+from repro.nn.networks import Network
+from repro.scnn.config import SCNN_CONFIG, AcceleratorConfig
+from repro.timeloop.area import accelerator_area_mm2
+from repro.timeloop.energy import (
+    DEFAULT_ENERGY_TABLE,
+    EnergyTable,
+    layer_energy_from_densities,
+)
+from repro.timeloop.model import estimate_scnn_layer
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated accelerator configuration."""
+
+    config: AcceleratorConfig
+    cycles: float
+    energy: float
+    area_mm2: float
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.energy * self.cycles
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance over (cycles, energy, area): no worse in all, better in one."""
+        no_worse = (
+            self.cycles <= other.cycles
+            and self.energy <= other.energy
+            and self.area_mm2 <= other.area_mm2
+        )
+        strictly_better = (
+            self.cycles < other.cycles
+            or self.energy < other.energy
+            or self.area_mm2 < other.area_mm2
+        )
+        return no_worse and strictly_better
+
+
+def evaluate_config(
+    config: AcceleratorConfig,
+    network: Network,
+    *,
+    sparsity=None,
+    energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+) -> DesignPoint:
+    """Evaluate one configuration on a whole network with the analytical model."""
+    sparsity = sparsity if sparsity is not None else network_sparsity(network)
+    total_cycles = 0.0
+    total_energy = 0.0
+    for index, spec in enumerate(network.layers):
+        layer_sparsity = sparsity[spec.name]
+        estimate = estimate_scnn_layer(
+            spec,
+            weight_density=layer_sparsity.weight_density,
+            activation_density=layer_sparsity.activation_density,
+            config=config,
+        )
+        total_cycles += estimate.cycles
+        successors = network.layers[index + 1 : index + 2]
+        output_density = (
+            sparsity[successors[0].name].activation_density
+            if successors
+            else 0.55
+        )
+        total_energy += layer_energy_from_densities(
+            spec,
+            config,
+            weight_density=layer_sparsity.weight_density,
+            activation_density=layer_sparsity.activation_density,
+            output_density=output_density,
+            cycles=int(estimate.cycles),
+            table=energy_table,
+        ).total
+    return DesignPoint(
+        config=config,
+        cycles=total_cycles,
+        energy=total_energy,
+        area_mm2=accelerator_area_mm2(config),
+    )
+
+
+def sweep(
+    configs: Iterable[AcceleratorConfig],
+    network: Network,
+    *,
+    energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+) -> List[DesignPoint]:
+    """Evaluate every candidate configuration on ``network``."""
+    return [
+        evaluate_config(config, network, energy_table=energy_table)
+        for config in configs
+    ]
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset of ``points`` (stable order)."""
+    frontier = []
+    for candidate in points:
+        if not any(other.dominates(candidate) for other in points if other is not candidate):
+            frontier.append(candidate)
+    return frontier
+
+
+def default_candidates(base: AcceleratorConfig = SCNN_CONFIG) -> List[AcceleratorConfig]:
+    """The candidate set the paper's sensitivity studies cover.
+
+    PE granularity at fixed 1,024 multipliers, accumulator banking, and the
+    output-channel group size, each varied around the paper's design point.
+    """
+    candidates: List[AcceleratorConfig] = []
+    for num_pes in (64, 16, 4):
+        candidates.append(base.with_pe_count(num_pes))
+    for banks in (16, 64):
+        candidates.append(
+            replace(base, name=f"{base.name}-A{banks}", accumulator_banks=banks)
+        )
+    for group in (4, 16):
+        candidates.append(
+            replace(base, name=f"{base.name}-Kc{group}", output_channel_group=group)
+        )
+    return candidates
+
+
+def summarize(points: Sequence[DesignPoint]) -> List[Tuple[str, float, float, float]]:
+    """(name, cycles, energy, area) rows, normalised to the first point."""
+    if not points:
+        return []
+    base = points[0]
+    rows = []
+    for point in points:
+        rows.append(
+            (
+                point.name,
+                point.cycles / base.cycles,
+                point.energy / base.energy,
+                point.area_mm2 / base.area_mm2,
+            )
+        )
+    return rows

@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite.
+
+All fixtures use fixed seeds so test failures are reproducible, and all layer
+shapes are kept small enough that the element-exact functional simulator runs
+in well under a second per layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.inference import LayerWorkload, generate_activations
+from repro.nn.layers import ConvLayerSpec
+from repro.nn.densities import LayerSparsity
+from repro.nn.pruning import generate_pruned_weights
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_spec() -> ConvLayerSpec:
+    """A small 3x3 same-padded layer, the most common shape in the catalogues."""
+    return ConvLayerSpec(
+        "small_3x3", in_channels=8, out_channels=16,
+        input_height=14, input_width=14,
+        filter_height=3, filter_width=3, padding=1,
+    )
+
+
+@pytest.fixture
+def strided_spec() -> ConvLayerSpec:
+    """A strided, unpadded layer (AlexNet-conv1 style, scaled down)."""
+    return ConvLayerSpec(
+        "strided_5x5", in_channels=3, out_channels=8,
+        input_height=23, input_width=23,
+        filter_height=5, filter_width=5, stride=2, padding=0,
+    )
+
+
+@pytest.fixture
+def grouped_spec() -> ConvLayerSpec:
+    """A grouped convolution (AlexNet conv2 style, scaled down)."""
+    return ConvLayerSpec(
+        "grouped_3x3", in_channels=8, out_channels=16,
+        input_height=13, input_width=13,
+        filter_height=3, filter_width=3, padding=1, groups=2,
+    )
+
+
+@pytest.fixture
+def pointwise_spec() -> ConvLayerSpec:
+    """A 1x1 layer on a small plane (GoogLeNet late-inception style)."""
+    return ConvLayerSpec(
+        "pointwise", in_channels=24, out_channels=16,
+        input_height=7, input_width=7,
+        filter_height=1, filter_width=1,
+    )
+
+
+def make_workload(
+    spec: ConvLayerSpec,
+    weight_density: float = 0.4,
+    activation_density: float = 0.5,
+    seed: int = 0,
+) -> LayerWorkload:
+    """Build a deterministic workload for an arbitrary spec."""
+    rng = np.random.default_rng(seed)
+    weights = generate_pruned_weights(spec, weight_density, rng)
+    activations = generate_activations(spec, activation_density, rng)
+    return LayerWorkload(
+        spec=spec,
+        weights=weights,
+        activations=activations,
+        target=LayerSparsity(weight_density, activation_density),
+    )
+
+
+@pytest.fixture
+def small_workload(small_spec) -> LayerWorkload:
+    return make_workload(small_spec)
+
+
+@pytest.fixture
+def strided_workload(strided_spec) -> LayerWorkload:
+    return make_workload(strided_spec, weight_density=0.6, activation_density=0.8)
+
+
+@pytest.fixture
+def grouped_workload(grouped_spec) -> LayerWorkload:
+    return make_workload(grouped_spec, weight_density=0.45, activation_density=0.5)
+
+
+@pytest.fixture
+def pointwise_workload(pointwise_spec) -> LayerWorkload:
+    return make_workload(pointwise_spec, weight_density=0.3, activation_density=0.35)

@@ -1,0 +1,118 @@
+"""Tests for the banked accumulator and contention model (repro.scnn.accumulator)."""
+
+import numpy as np
+import pytest
+
+from repro.scnn.accumulator import (
+    BankedAccumulator,
+    ConflictStatistics,
+    bank_for_coordinate,
+    expected_conflict_cycles,
+)
+
+
+class TestBankMapping:
+    def test_deterministic(self):
+        assert bank_for_coordinate(1, 2, 3, 32, 16) == bank_for_coordinate(1, 2, 3, 32, 16)
+
+    def test_within_range(self):
+        for k in range(8):
+            for y in range(10):
+                for x in range(10):
+                    assert 0 <= bank_for_coordinate(k, x, y, 32, 10) < 32
+
+    def test_adjacent_addresses_interleave(self):
+        banks = {bank_for_coordinate(0, x, 0, 32, 16) for x in range(8)}
+        assert len(banks) == 8  # neighbouring columns land in distinct banks
+
+
+class TestBankedAccumulator:
+    def make(self, banks=32):
+        return BankedAccumulator(
+            group_size=8, acc_height=6, acc_width=6, banks=banks, bank_entries=32
+        )
+
+    def test_scatter_accumulates_values(self):
+        acc = self.make()
+        acc.scatter([(0, 1, 1, 2.0), (0, 1, 1, 3.0), (2, 0, 5, -1.0)])
+        assert acc.values[0, 1, 1] == pytest.approx(5.0)
+        assert acc.values[2, 0, 5] == pytest.approx(-1.0)
+
+    def test_scatter_returns_max_bank_load(self):
+        acc = self.make(banks=1)
+        cycles = acc.scatter([(0, 0, 0, 1.0), (1, 1, 1, 1.0), (2, 2, 2, 1.0)])
+        assert cycles == 3  # single bank serialises everything
+
+    def test_empty_scatter_costs_nothing(self):
+        acc = self.make()
+        assert acc.scatter([]) == 0
+        assert acc.statistics.issue_steps == 0
+
+    def test_out_of_range_coordinate_rejected(self):
+        acc = self.make()
+        with pytest.raises(IndexError):
+            acc.scatter([(9, 0, 0, 1.0)])
+        with pytest.raises(IndexError):
+            acc.scatter([(0, 6, 0, 1.0)])
+
+    def test_drain_returns_contents_and_clears(self):
+        acc = self.make()
+        acc.scatter([(1, 2, 3, 4.0)])
+        drained = acc.drain()
+        assert drained[1, 2, 3] == 4.0
+        assert not acc.values.any()
+
+    def test_statistics_track_conflicts(self):
+        acc = self.make(banks=2)
+        acc.scatter([(0, 0, 0, 1.0), (0, 0, 2, 1.0), (0, 0, 4, 1.0), (0, 0, 1, 1.0)])
+        stats = acc.statistics
+        assert stats.issue_steps == 1
+        assert stats.total_products == 4
+        assert stats.max_bank_load >= 2
+        assert stats.conflict_cycles == stats.max_bank_load - 1
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            BankedAccumulator(8, 4, 4, banks=0, bank_entries=32)
+
+
+class TestConflictStatistics:
+    def test_average_over_steps(self):
+        stats = ConflictStatistics()
+        stats.record([2, 1, 0, 0])
+        stats.record([1, 1, 1, 1])
+        assert stats.issue_steps == 2
+        assert stats.average_conflict_cycles == pytest.approx(0.5)
+        assert stats.load_histogram == {1: 1, 2: 1}
+
+    def test_empty_statistics(self):
+        stats = ConflictStatistics()
+        assert stats.average_conflict_cycles == 0.0
+        stats.record([0, 0])
+        assert stats.issue_steps == 0
+
+
+class TestExpectedConflictCycles:
+    def test_default_provisioning_has_no_stall(self):
+        # Paper rule: A = 2 x F x I makes contention negligible.
+        assert expected_conflict_cycles(16, 32) == 0.0
+
+    def test_fewer_banks_than_products_guarantees_stalls(self):
+        assert expected_conflict_cycles(16, 8) >= 1.0
+        assert expected_conflict_cycles(16, 4) >= 3.0
+
+    def test_monotone_in_bank_count(self):
+        stalls = [expected_conflict_cycles(16, banks) for banks in (4, 8, 16, 32)]
+        assert stalls == sorted(stalls, reverse=True)
+
+    def test_zero_products(self):
+        assert expected_conflict_cycles(0, 32) == 0.0
+
+    def test_invalid_banks_rejected(self):
+        with pytest.raises(ValueError):
+            expected_conflict_cycles(16, 0)
+
+    def test_shallow_queue_exposes_collisions(self):
+        shallow = expected_conflict_cycles(16, 16, queue_depth=1)
+        deep = expected_conflict_cycles(16, 16, queue_depth=8)
+        assert shallow > deep

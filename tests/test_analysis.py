@@ -1,0 +1,107 @@
+"""Tests for analysis helpers: metrics, aggregation and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import geometric_mean, harmonic_mean, weighted_mean
+from repro.analysis.metrics import (
+    average_work_reduction,
+    density_table,
+    network_characteristics,
+)
+from repro.analysis.reporting import format_table, format_value
+from repro.nn.networks import alexnet, googlenet, vggnet
+
+
+class TestNetworkCharacteristics:
+    def test_alexnet_row_matches_paper(self):
+        row = network_characteristics(alexnet())
+        assert row.conv_layers == 5
+        assert row.max_layer_weight_mb == pytest.approx(1.73, rel=0.05)
+        assert row.max_layer_activation_mb == pytest.approx(0.31, rel=0.1)
+        assert row.total_multiplies_billions == pytest.approx(0.69, rel=0.05)
+
+    def test_vggnet_row_matches_paper(self):
+        row = network_characteristics(vggnet())
+        assert row.conv_layers == 13
+        assert row.max_layer_weight_mb == pytest.approx(4.49, rel=0.05)
+        assert row.max_layer_activation_mb == pytest.approx(6.12, rel=0.05)
+        assert row.total_multiplies_billions == pytest.approx(15.3, rel=0.02)
+
+    def test_googlenet_row(self):
+        row = network_characteristics(googlenet())
+        assert row.conv_layers == 54
+        assert row.max_layer_weight_mb == pytest.approx(1.32, rel=0.05)
+        assert 0.8 < row.total_multiplies_billions < 1.4
+
+
+class TestDensityTable:
+    def test_calibration_rows(self):
+        rows = density_table(alexnet())
+        assert [row.layer for row in rows] == ["conv1", "conv2", "conv3", "conv4", "conv5"]
+        for row in rows:
+            assert row.work_fraction == pytest.approx(
+                row.weight_density * row.activation_density
+            )
+            assert row.work_reduction >= 1.0
+
+    def test_measured_rows_from_workloads(self):
+        from repro.nn.inference import build_network_workloads
+
+        network = alexnet()
+        workloads = build_network_workloads(network, seed=0)
+        rows = density_table(network, workloads)
+        for row, workload in zip(rows, workloads):
+            assert row.weight_density == pytest.approx(workload.weight_density)
+
+    def test_average_work_reduction_weighted_by_multiplies(self):
+        network = alexnet()
+        rows = density_table(network)
+        reduction = average_work_reduction(rows, network)
+        # Paper: typical layers reduce work by ~4x; AlexNet's conv1 is dense so
+        # the multiply-weighted average sits a bit lower.
+        assert 2.0 < reduction < 8.0
+
+
+class TestAggregate:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -1.0]) == 0.0
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+        assert weighted_mean([], []) == 0.0
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+        assert harmonic_mean([]) == 0.0
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(3.14159) == "3.14"
+        assert format_value(True) == "yes"
+        assert format_value(0.0) == "0"
+        assert format_value(1234567) == "1,234,567"
+        assert format_value("text") == "text"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["Name", "Value"],
+            [("alpha", 1), ("beta", 22)],
+            title="Demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert "Name" in lines[2]
+        # All data rows share the header's column offset for the second column.
+        offset = lines[2].index("Value")
+        assert lines[4][offset:].startswith("1")
+        assert lines[5][offset:].startswith("22")
+
+    def test_format_table_without_title(self):
+        table = format_table(["A"], [("x",)])
+        assert table.splitlines()[0] == "A"

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface (repro.experiments.cli)."""
+
+import pytest
+
+from repro.experiments import cli
+
+
+class TestParser:
+    def test_list_flag(self):
+        args = cli.build_parser().parse_args(["--list"])
+        assert args.list
+        assert args.experiments == []
+
+    def test_experiment_arguments(self):
+        args = cli.build_parser().parse_args(["table1", "fig7"])
+        assert args.experiments == ["table1", "fig7"]
+
+
+class TestListing:
+    def test_every_experiment_listed(self):
+        text = cli.list_experiments()
+        for key in cli.EXPERIMENTS:
+            assert key in text
+        assert "all" in text
+
+    def test_experiment_registry_covers_paper_evaluation(self):
+        assert set(cli.EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4",
+            "fig1", "fig7", "fig8", "fig9", "fig10",
+            "sec6c", "sec6d",
+        }
+
+
+class TestRunExperiments:
+    def test_runs_named_experiments(self, capsys):
+        executed = cli.run_experiments(["table2", "table3"])
+        assert executed == ["table2", "table3"]
+        output = capsys.readouterr().out
+        assert "Table II" in output
+        assert "Table III" in output
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            cli.run_experiments(["fig99"])
+
+
+class TestMain:
+    def test_list_exit_code(self, capsys):
+        assert cli.main(["--list"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_single_experiment_exit_code(self, capsys):
+        assert cli.main(["table4"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert cli.main(["bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

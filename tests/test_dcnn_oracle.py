@@ -1,0 +1,95 @@
+"""Tests for the dense DCNN baseline and the SCNN(oracle) bound."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import ConvLayerSpec
+from repro.scnn.config import DCNN_CONFIG, SCNN_CONFIG
+from repro.scnn.dcnn import simulate_dcnn_layer
+from repro.scnn.oracle import nonzero_multiplies, oracle_cycles
+
+from conftest import make_workload
+
+
+class TestDcnnBaseline:
+    def test_cycles_independent_of_sparsity(self, small_spec):
+        # The dense baseline performs every multiply regardless of operand values.
+        result = simulate_dcnn_layer(small_spec)
+        assert result.multiplies == small_spec.multiplies
+        assert result.cycles > 0
+
+    def test_cycles_close_to_peak_throughput_on_large_layer(self):
+        spec = ConvLayerSpec("vgg_like", 128, 256, 56, 56, 3, 3, padding=1)
+        result = simulate_dcnn_layer(spec)
+        ideal = spec.multiplies / DCNN_CONFIG.total_multipliers
+        assert result.cycles == pytest.approx(ideal, rel=0.05)
+        assert result.multiplier_utilization > 0.9
+
+    def test_small_plane_loses_utilization(self):
+        spec = ConvLayerSpec("late_1x1", 832, 128, 7, 7, 1, 1)
+        result = simulate_dcnn_layer(spec)
+        # 49 of 64 PEs have work, so utilization cannot exceed 49/64.
+        assert result.multiplier_utilization <= 49 / 64 + 1e-9
+        assert result.idle_fraction > 0.2
+
+    def test_grouped_layer_counts_grouped_macs(self, grouped_spec):
+        result = simulate_dcnn_layer(grouped_spec)
+        assert result.multiplies == grouped_spec.multiplies
+
+    def test_busy_cycles_bounded_by_layer_cycles(self, small_spec):
+        result = simulate_dcnn_layer(small_spec)
+        assert (result.busy_cycles_per_pe <= result.cycles).all()
+
+    def test_config_name_recorded(self, small_spec):
+        assert simulate_dcnn_layer(small_spec).config_name == "DCNN"
+
+
+class TestOracle:
+    def test_nonzero_multiplies_dense_case_unpadded(self):
+        spec = ConvLayerSpec("nopad", 4, 8, 12, 12, 3, 3)
+        weights = np.ones(spec.weight_shape)
+        activations = np.ones(spec.input_shape)
+        assert nonzero_multiplies(spec, weights, activations) == spec.multiplies
+
+    def test_nonzero_multiplies_dense_case_padded(self, small_spec):
+        weights = np.ones(small_spec.weight_shape)
+        activations = np.ones(small_spec.input_shape)
+        # Padding positions never hold real activations, so the oracle count is
+        # strictly below the dense MAC count (which charges for them) but close.
+        count = nonzero_multiplies(small_spec, weights, activations)
+        assert 0.8 * small_spec.multiplies < count < small_spec.multiplies
+
+    def test_zero_weights_produce_zero_work(self, small_spec):
+        weights = np.zeros(small_spec.weight_shape)
+        activations = np.ones(small_spec.input_shape)
+        assert nonzero_multiplies(small_spec, weights, activations) == 0
+
+    def test_scales_with_density(self, small_spec):
+        dense = make_workload(small_spec, 1.0, 1.0)
+        sparse = make_workload(small_spec, 0.3, 0.4)
+        dense_count = nonzero_multiplies(small_spec, dense.weights, dense.activations)
+        sparse_count = nonzero_multiplies(small_spec, sparse.weights, sparse.activations)
+        assert sparse_count == pytest.approx(dense_count * 0.12, rel=0.25)
+
+    def test_oracle_cycles_formula(self, small_spec):
+        workload = make_workload(small_spec)
+        products = nonzero_multiplies(small_spec, workload.weights, workload.activations)
+        cycles = oracle_cycles(small_spec, workload.weights, workload.activations)
+        assert cycles == max(1, -(-products // SCNN_CONFIG.total_multipliers))
+
+    def test_oracle_cycles_accepts_precomputed_products(self, small_spec):
+        workload = make_workload(small_spec)
+        assert oracle_cycles(
+            small_spec, workload.weights, workload.activations, products=2048
+        ) == 2
+
+    def test_oracle_never_slower_than_cycle_model(self, small_workload):
+        from repro.scnn.cycles import simulate_layer_cycles
+
+        result = simulate_layer_cycles(
+            small_workload.spec, small_workload.weights, small_workload.activations
+        )
+        oracle = oracle_cycles(
+            small_workload.spec, small_workload.weights, small_workload.activations
+        )
+        assert oracle <= result.cycles

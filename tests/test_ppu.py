@@ -1,0 +1,83 @@
+"""Tests for the post-processing unit model (repro.scnn.ppu)."""
+
+import numpy as np
+import pytest
+
+from repro.scnn.config import SCNN_CONFIG
+from repro.scnn.ppu import apply_ppu
+
+
+@pytest.fixture
+def pre_activation(rng):
+    """A plausible accumulated output: zero-mean, so ReLU clamps about half."""
+    return rng.normal(size=(16, 14, 14))
+
+
+class TestApplyPpu:
+    def test_relu_applied(self, pre_activation):
+        result = apply_ppu(pre_activation)
+        assert (result.output >= 0).all()
+        np.testing.assert_allclose(result.output, np.maximum(pre_activation, 0.0))
+
+    def test_relu_can_be_disabled(self, pre_activation):
+        result = apply_ppu(pre_activation, apply_relu=False)
+        np.testing.assert_allclose(result.output, pre_activation)
+        assert result.output_density > 0.99
+
+    def test_relu_creates_sparsity(self, pre_activation):
+        result = apply_ppu(pre_activation)
+        assert 0.3 < result.output_density < 0.7
+
+    def test_pooling_shrinks_plane(self, pre_activation):
+        result = apply_ppu(pre_activation, pool_window=2, pool_stride=2)
+        assert result.output.shape == (16, 7, 7)
+
+    def test_pooling_raises_density(self, pre_activation):
+        unpooled = apply_ppu(pre_activation)
+        pooled = apply_ppu(pre_activation, pool_window=2, pool_stride=2)
+        assert pooled.output_density >= unpooled.output_density
+
+    def test_dropout_scales_values(self, pre_activation):
+        base = apply_ppu(pre_activation)
+        scaled = apply_ppu(pre_activation, dropout_keep=0.5)
+        np.testing.assert_allclose(scaled.output, base.output * 0.5)
+        assert scaled.output_density == pytest.approx(base.output_density)
+
+    def test_compression_accounting(self, pre_activation):
+        result = apply_ppu(pre_activation)
+        assert result.compressed_bits < result.dense_bits
+        assert result.compression_ratio > 1.0
+        assert result.oaram_values_written >= np.count_nonzero(result.output)
+
+    def test_drain_cycles_scale_with_throughput(self, pre_activation):
+        slow = apply_ppu(pre_activation, values_per_cycle=1)
+        fast = apply_ppu(pre_activation, values_per_cycle=8)
+        assert slow.drain_cycles > fast.drain_cycles
+
+    def test_small_output_fits_in_oaram(self, pre_activation):
+        result = apply_ppu(pre_activation)
+        assert result.fits_in_oaram
+
+    def test_huge_output_does_not_fit(self, rng):
+        huge = rng.normal(size=(64, 224, 224))
+        result = apply_ppu(huge, config=SCNN_CONFIG)
+        assert not result.fits_in_oaram
+
+    def test_invalid_inputs_rejected(self, pre_activation):
+        with pytest.raises(ValueError):
+            apply_ppu(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            apply_ppu(pre_activation, dropout_keep=0.0)
+        with pytest.raises(ValueError):
+            apply_ppu(pre_activation, values_per_cycle=0)
+
+    def test_matches_functional_simulator_output(self, small_workload):
+        """PPU(ReLU) over the pre-activation output equals the simulator's output."""
+        from repro.scnn.functional import run_functional_layer
+
+        sim = run_functional_layer(
+            small_workload.spec, small_workload.weights, small_workload.activations
+        )
+        result = apply_ppu(sim.output_pre_activation)
+        np.testing.assert_allclose(result.output, sim.output, atol=1e-12)
+        assert result.output_density == pytest.approx(sim.output_density)

@@ -1,0 +1,118 @@
+"""Tests for synthetic weight generation and magnitude pruning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.layers import ConvLayerSpec
+from repro.nn.pruning import (
+    generate_dense_weights,
+    generate_pruned_weights,
+    measured_density,
+    prune_to_density,
+)
+
+
+@pytest.fixture
+def spec():
+    return ConvLayerSpec("test", 8, 16, 14, 14, 3, 3, padding=1)
+
+
+class TestGenerateDenseWeights:
+    def test_shape_matches_spec(self, spec, rng):
+        weights = generate_dense_weights(spec, rng)
+        assert weights.shape == spec.weight_shape
+
+    def test_scale_follows_fan_in(self, rng):
+        wide = ConvLayerSpec("wide", 512, 16, 14, 14, 3, 3, padding=1)
+        narrow = ConvLayerSpec("narrow", 8, 16, 14, 14, 3, 3, padding=1)
+        wide_weights = generate_dense_weights(wide, rng)
+        narrow_weights = generate_dense_weights(narrow, rng)
+        assert wide_weights.std() < narrow_weights.std()
+
+    def test_deterministic_with_seeded_rng(self, spec):
+        first = generate_dense_weights(spec, np.random.default_rng(5))
+        second = generate_dense_weights(spec, np.random.default_rng(5))
+        np.testing.assert_array_equal(first, second)
+
+
+class TestPruneToDensity:
+    def test_hits_target_density_exactly(self, spec, rng):
+        weights = generate_dense_weights(spec, rng)
+        for density in (0.1, 0.25, 0.5, 0.8):
+            pruned = prune_to_density(weights, density, rng)
+            expected = int(round(weights.size * density))
+            assert np.count_nonzero(pruned) == expected
+
+    def test_keeps_largest_magnitudes(self, rng):
+        weights = np.array([0.1, -5.0, 0.2, 3.0, -0.05, 1.0])
+        pruned = prune_to_density(weights, 0.5, rng)
+        np.testing.assert_array_equal(
+            pruned != 0, np.array([False, True, False, True, False, True])
+        )
+
+    def test_kept_values_unchanged(self, spec, rng):
+        weights = generate_dense_weights(spec, rng)
+        pruned = prune_to_density(weights, 0.3, rng)
+        mask = pruned != 0
+        np.testing.assert_array_equal(pruned[mask], weights[mask])
+
+    def test_density_one_keeps_everything(self, spec, rng):
+        weights = generate_dense_weights(spec, rng)
+        np.testing.assert_array_equal(prune_to_density(weights, 1.0, rng), weights)
+
+    def test_ties_still_hit_target(self, rng):
+        weights = np.ones(100)
+        pruned = prune_to_density(weights, 0.37, rng)
+        assert np.count_nonzero(pruned) == 37
+
+    def test_original_not_mutated(self, spec, rng):
+        weights = generate_dense_weights(spec, rng)
+        copy = weights.copy()
+        prune_to_density(weights, 0.2, rng)
+        np.testing.assert_array_equal(weights, copy)
+
+    def test_invalid_density_rejected(self, spec, rng):
+        weights = generate_dense_weights(spec, rng)
+        with pytest.raises(ValueError):
+            prune_to_density(weights, 0.0, rng)
+        with pytest.raises(ValueError):
+            prune_to_density(weights, 1.5, rng)
+
+    def test_tiny_density_keeps_at_least_one(self, rng):
+        weights = rng.normal(size=10)
+        pruned = prune_to_density(weights, 0.001, rng)
+        assert np.count_nonzero(pruned) == 1
+
+
+class TestGeneratePrunedWeights:
+    def test_density_and_shape(self, spec, rng):
+        weights = generate_pruned_weights(spec, 0.35, rng)
+        assert weights.shape == spec.weight_shape
+        assert measured_density(weights) == pytest.approx(0.35, abs=0.01)
+
+
+class TestMeasuredDensity:
+    def test_known_values(self):
+        assert measured_density(np.array([0.0, 1.0, 0.0, 2.0])) == 0.5
+        assert measured_density(np.zeros(4)) == 0.0
+        assert measured_density(np.array([])) == 0.0
+
+
+@given(
+    st.integers(min_value=2, max_value=400),
+    st.floats(min_value=0.01, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_pruning_density_property(size, density, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=size)
+    pruned = prune_to_density(weights, density, rng)
+    expected = max(1, int(round(size * density))) if density < 1.0 else size
+    assert np.count_nonzero(pruned) == min(expected, size)
+    # Pruned positions were not larger in magnitude than any kept position.
+    kept = np.abs(pruned[pruned != 0])
+    dropped = np.abs(weights[pruned == 0])
+    if kept.size and dropped.size:
+        assert dropped.max() <= kept.min() + 1e-9

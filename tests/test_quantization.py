@@ -1,0 +1,133 @@
+"""Tests for the fixed-point quantization substrate (repro.nn.quantization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.layers import ConvLayerSpec
+from repro.nn.quantization import (
+    ACCUMULATOR_FORMAT,
+    ACTIVATION_FORMAT,
+    WEIGHT_FORMAT,
+    FixedPointFormat,
+    accumulator_headroom,
+    quantization_error,
+    quantize,
+    quantize_workload,
+)
+
+from conftest import make_workload
+
+
+class TestFixedPointFormat:
+    def test_paper_widths(self):
+        assert WEIGHT_FORMAT.total_bits == 16
+        assert ACTIVATION_FORMAT.total_bits == 16
+        assert ACCUMULATOR_FORMAT.total_bits == 24
+
+    def test_scale_and_range(self):
+        fmt = FixedPointFormat(total_bits=8, fraction_bits=4)
+        assert fmt.scale == pytest.approx(1 / 16)
+        assert fmt.max_value == pytest.approx(127 / 16)
+        assert fmt.min_value == pytest.approx(-8.0)
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=1, fraction_bits=0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=8, fraction_bits=8)
+
+
+class TestQuantize:
+    def test_zero_stays_zero(self):
+        data = np.array([0.0, 0.5, -0.25, 0.0])
+        quantized = quantize(data, WEIGHT_FORMAT)
+        assert quantized[0] == 0.0
+        assert quantized[3] == 0.0
+
+    def test_sparsity_pattern_preserved(self, small_workload):
+        quantized_w, quantized_a = quantize_workload(
+            small_workload.weights, small_workload.activations
+        )
+        np.testing.assert_array_equal(
+            quantized_w != 0, small_workload.weights != 0
+        )
+        np.testing.assert_array_equal(
+            quantized_a != 0, small_workload.activations != 0
+        )
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(total_bits=8, fraction_bits=4)
+        data = np.array([100.0, -100.0])
+        quantized = quantize(data, fmt)
+        assert quantized[0] == pytest.approx(fmt.max_value)
+        assert quantized[1] == pytest.approx(fmt.min_value)
+
+    def test_error_bounded_by_half_lsb(self, small_workload):
+        error = quantization_error(small_workload.weights, WEIGHT_FORMAT)
+        assert error <= WEIGHT_FORMAT.scale / 2 + 1e-12
+
+    def test_error_of_empty_tensor(self):
+        assert quantization_error(np.array([]), WEIGHT_FORMAT) == 0.0
+
+    def test_quantized_conv_close_to_float(self, small_workload):
+        from repro.nn.reference import conv2d_layer
+
+        spec = small_workload.spec
+        quantized_w, quantized_a = quantize_workload(
+            small_workload.weights, small_workload.activations
+        )
+        exact = conv2d_layer(small_workload.activations, small_workload.weights, spec)
+        quantized = conv2d_layer(quantized_a, quantized_w, spec)
+        scale = np.abs(exact).max()
+        assert np.abs(quantized - exact).max() / scale < 0.02
+
+
+class TestAccumulatorHeadroom:
+    def test_catalogue_workload_has_headroom(self, small_workload):
+        report = accumulator_headroom(
+            small_workload.spec, small_workload.weights, small_workload.activations
+        )
+        assert not report.overflows
+        assert report.headroom_bits > 0
+        assert report.worst_case_sum < report.accumulator_limit
+
+    def test_pathological_workload_overflows(self):
+        spec = ConvLayerSpec("deep", 512, 8, 8, 8, 3, 3, padding=1)
+        weights = np.full(spec.weight_shape, 1.9)
+        activations = np.full(spec.input_shape, 7.9)
+        report = accumulator_headroom(spec, weights, activations)
+        assert report.overflows
+        assert report.headroom_bits < 0
+
+    def test_zero_workload(self):
+        spec = ConvLayerSpec("z", 4, 4, 6, 6, 3, 3, padding=1)
+        report = accumulator_headroom(
+            spec, np.zeros(spec.weight_shape), np.zeros(spec.input_shape)
+        )
+        assert not report.overflows
+        assert report.worst_case_sum == 0.0
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-2.0, max_value=2.0, allow_nan=False), min_size=1, max_size=64
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_quantization_idempotent(values):
+    data = np.array(values)
+    once = quantize(data, WEIGHT_FORMAT)
+    twice = quantize(once, WEIGHT_FORMAT)
+    np.testing.assert_array_equal(once, twice)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1.9, max_value=1.9, allow_nan=False), min_size=1, max_size=64
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_quantization_error_bound_property(values):
+    data = np.array(values)
+    assert quantization_error(data, WEIGHT_FORMAT) <= WEIGHT_FORMAT.scale / 2 + 1e-12

@@ -1,0 +1,169 @@
+"""Tests for the dense reference operators (repro.nn.reference)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.layers import ConvLayerSpec
+from repro.nn.reference import conv2d_dense, conv2d_layer, max_pool2d, relu
+
+
+def naive_conv(activations, weights, stride=1, padding=0, groups=1):
+    """Literal nested-loop convolution used as an independent oracle."""
+    num_c, height, width = activations.shape
+    num_k, c_per_group, filt_h, filt_w = weights.shape
+    if padding:
+        activations = np.pad(
+            activations, ((0, 0), (padding, padding), (padding, padding))
+        )
+    out_h = (activations.shape[1] - filt_h) // stride + 1
+    out_w = (activations.shape[2] - filt_w) // stride + 1
+    k_per_group = num_k // groups
+    output = np.zeros((num_k, out_h, out_w))
+    for k in range(num_k):
+        group = k // k_per_group
+        for y in range(out_h):
+            for x in range(out_w):
+                total = 0.0
+                for c in range(c_per_group):
+                    for s in range(filt_h):
+                        for r in range(filt_w):
+                            total += (
+                                activations[group * c_per_group + c, y * stride + s, x * stride + r]
+                                * weights[k, c, s, r]
+                            )
+                output[k, y, x] = total
+    return output
+
+
+class TestRelu:
+    def test_clamps_negatives(self):
+        data = np.array([-1.0, 0.0, 2.5, -0.1])
+        np.testing.assert_array_equal(relu(data), [0.0, 0.0, 2.5, 0.0])
+
+    def test_preserves_shape(self, rng):
+        data = rng.normal(size=(3, 5, 7))
+        assert relu(data).shape == data.shape
+        assert (relu(data) >= 0).all()
+
+
+class TestConv2dDense:
+    def test_matches_naive_unit_stride(self, rng):
+        activations = rng.normal(size=(4, 9, 9))
+        weights = rng.normal(size=(6, 4, 3, 3))
+        np.testing.assert_allclose(
+            conv2d_dense(activations, weights, padding=1),
+            naive_conv(activations, weights, padding=1),
+            atol=1e-10,
+        )
+
+    def test_matches_naive_strided(self, rng):
+        activations = rng.normal(size=(3, 11, 11))
+        weights = rng.normal(size=(5, 3, 5, 5))
+        np.testing.assert_allclose(
+            conv2d_dense(activations, weights, stride=2),
+            naive_conv(activations, weights, stride=2),
+            atol=1e-10,
+        )
+
+    def test_matches_naive_grouped(self, rng):
+        activations = rng.normal(size=(6, 8, 8))
+        weights = rng.normal(size=(4, 3, 3, 3))
+        np.testing.assert_allclose(
+            conv2d_dense(activations, weights, padding=1, groups=2),
+            naive_conv(activations, weights, padding=1, groups=2),
+            atol=1e-10,
+        )
+
+    def test_identity_filter(self, rng):
+        activations = rng.normal(size=(1, 6, 6))
+        weights = np.ones((1, 1, 1, 1))
+        np.testing.assert_allclose(conv2d_dense(activations, weights), activations)
+
+    def test_output_shape(self, rng):
+        activations = rng.normal(size=(3, 23, 23))
+        weights = rng.normal(size=(8, 3, 5, 5))
+        assert conv2d_dense(activations, weights, stride=2).shape == (8, 10, 10)
+
+    def test_zero_weights_give_zero_output(self, rng):
+        activations = rng.normal(size=(2, 5, 5))
+        weights = np.zeros((3, 2, 3, 3))
+        assert not conv2d_dense(activations, weights, padding=1).any()
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            conv2d_dense(rng.normal(size=(3, 5, 5)), rng.normal(size=(4, 2, 3, 3)))
+
+    def test_rank_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            conv2d_dense(rng.normal(size=(5, 5)), rng.normal(size=(4, 1, 3, 3)))
+
+    def test_empty_output_rejected(self, rng):
+        with pytest.raises(ValueError):
+            conv2d_dense(rng.normal(size=(1, 2, 2)), rng.normal(size=(1, 1, 5, 5)))
+
+    def test_linearity(self, rng):
+        activations = rng.normal(size=(2, 6, 6))
+        weights_a = rng.normal(size=(3, 2, 3, 3))
+        weights_b = rng.normal(size=(3, 2, 3, 3))
+        combined = conv2d_dense(activations, weights_a + weights_b, padding=1)
+        separate = conv2d_dense(activations, weights_a, padding=1) + conv2d_dense(
+            activations, weights_b, padding=1
+        )
+        np.testing.assert_allclose(combined, separate, atol=1e-10)
+
+    def test_conv2d_layer_uses_spec_parameters(self, rng):
+        spec = ConvLayerSpec("s", 3, 4, 11, 11, 3, 3, stride=2, padding=1, groups=1)
+        activations = rng.normal(size=spec.input_shape)
+        weights = rng.normal(size=spec.weight_shape)
+        out = conv2d_layer(activations, weights, spec)
+        assert out.shape == spec.output_shape
+        np.testing.assert_allclose(
+            out, conv2d_dense(activations, weights, stride=2, padding=1), atol=1e-12
+        )
+
+
+class TestMaxPool2d:
+    def test_known_values(self):
+        plane = np.array([[[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12], [13, 14, 15, 16]]], dtype=float)
+        pooled = max_pool2d(plane, window=2, stride=2)
+        np.testing.assert_array_equal(pooled, [[[6, 8], [14, 16]]])
+
+    def test_overlapping_window(self):
+        plane = np.arange(25, dtype=float).reshape(1, 5, 5)
+        pooled = max_pool2d(plane, window=3, stride=2)
+        assert pooled.shape == (1, 2, 2)
+        assert pooled[0, 1, 1] == 24
+
+    def test_output_never_smaller_than_input_max(self, rng):
+        plane = rng.normal(size=(3, 9, 9))
+        pooled = max_pool2d(plane, window=3, stride=2)
+        assert pooled.max() <= plane.max() + 1e-12
+        assert pooled.min() >= plane.min() - 1e-12
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ValueError):
+            max_pool2d(np.zeros((1, 2, 2)), window=3, stride=2)
+
+
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=5, max_value=10),
+    st.sampled_from([1, 3]),
+    st.sampled_from([1, 2]),
+    st.sampled_from([0, 1]),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_conv_matches_naive_property(channels, filters, extent, filt, stride, pad, seed):
+    rng = np.random.default_rng(seed)
+    activations = rng.normal(size=(channels, extent, extent))
+    weights = rng.normal(size=(filters, channels, filt, filt))
+    if extent + 2 * pad < filt:
+        return
+    np.testing.assert_allclose(
+        conv2d_dense(activations, weights, stride=stride, padding=pad),
+        naive_conv(activations, weights, stride=stride, padding=pad),
+        atol=1e-9,
+    )

@@ -1,0 +1,179 @@
+"""Tests for planar tiling and the fast non-zero-count queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.tiling import (
+    activation_phase_nonzeros,
+    activation_tile_nonzeros,
+    activation_tile_totals,
+    pe_grid_for,
+    plan_layer,
+    weight_group_nonzeros,
+    weight_phase_nonzeros,
+)
+from repro.nn.layers import ConvLayerSpec
+
+
+def sparse(shape, density, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape) * (rng.random(shape) < density)
+
+
+class TestPeGrid:
+    @pytest.mark.parametrize("num_pes,expected", [(64, (8, 8)), (16, (4, 4)), (4, (2, 2)), (8, (2, 4)), (1, (1, 1))])
+    def test_square_ish_grids(self, num_pes, expected):
+        assert pe_grid_for(num_pes) == expected
+
+    def test_prime_counts_fall_back_to_row(self):
+        assert pe_grid_for(7) == (1, 7)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            pe_grid_for(0)
+
+
+class TestPlanLayer:
+    def test_default_plan_covers_all_pes(self):
+        spec = ConvLayerSpec("l", 16, 32, 28, 28, 3, 3, padding=1)
+        plan = plan_layer(spec, num_pes=64, group_size=8)
+        assert plan.num_pes == 64
+        assert len(plan.input_tiles) == 64
+        assert sum(tile.size for tile in plan.input_tiles) == 28 * 28
+        assert plan.num_groups == 4
+
+    def test_small_plane_leaves_pes_idle(self):
+        spec = ConvLayerSpec("small", 16, 32, 7, 7, 3, 3, padding=1)
+        plan = plan_layer(spec, num_pes=64, group_size=8)
+        occupied = sum(1 for tile in plan.input_tiles if tile.size > 0)
+        assert occupied == 49
+        assert sum(tile.size for tile in plan.input_tiles) == 49
+
+    def test_output_tiles_cover_output_plane(self):
+        spec = ConvLayerSpec("s", 3, 8, 23, 23, 5, 5, stride=2)
+        plan = plan_layer(spec, num_pes=16, group_size=8)
+        assert sum(tile.size for tile in plan.output_tiles) == (
+            spec.output_height * spec.output_width
+        )
+
+    def test_halo_widths(self):
+        spec = ConvLayerSpec("l", 16, 32, 28, 28, 3, 3, padding=1)
+        plan = plan_layer(spec, num_pes=64, group_size=8)
+        assert plan.halo_width == 2
+        assert plan.halo_height == 2
+        assert 0.0 < plan.halo_fraction() < 1.0
+
+    def test_pointwise_has_no_halo(self):
+        spec = ConvLayerSpec("p", 16, 32, 14, 14, 1, 1)
+        plan = plan_layer(spec, num_pes=64, group_size=8)
+        assert plan.halo_width == 0
+        assert plan.halo_fraction() == 0.0
+
+    def test_group_channels(self):
+        spec = ConvLayerSpec("l", 16, 20, 28, 28, 3, 3, padding=1)
+        plan = plan_layer(spec, num_pes=64, group_size=8)
+        assert plan.num_groups == 3
+        assert plan.group_channels(2) == (16, 17, 18, 19)
+
+    def test_accumulator_entries_positive(self):
+        spec = ConvLayerSpec("l", 16, 32, 28, 28, 3, 3, padding=1)
+        plan = plan_layer(spec, num_pes=64, group_size=8)
+        assert plan.accumulator_entries_per_group() > 8 * 3 * 3
+
+
+class TestWeightCounts:
+    def test_counts_match_dense(self):
+        weights = sparse((16, 8, 3, 3), 0.4, seed=1)
+        counts = weight_group_nonzeros(weights, 8)
+        assert counts.shape == (2, 8)
+        assert counts.sum() == np.count_nonzero(weights)
+        for group in range(2):
+            for c in range(8):
+                assert counts[group, c] == np.count_nonzero(
+                    weights[group * 8 : (group + 1) * 8, c]
+                )
+
+    def test_ragged_group(self):
+        weights = sparse((10, 4, 3, 3), 0.5, seed=2)
+        counts = weight_group_nonzeros(weights, 8)
+        assert counts.shape == (2, 4)
+        assert counts.sum() == np.count_nonzero(weights)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            weight_group_nonzeros(np.zeros((4, 4, 3)), 8)
+        with pytest.raises(ValueError):
+            weight_group_nonzeros(np.zeros((4, 4, 3, 3)), 0)
+
+
+class TestPhaseCounts:
+    def test_stride_one_single_phase(self):
+        spec = ConvLayerSpec("l", 4, 8, 12, 12, 3, 3, padding=1)
+        plan = plan_layer(spec, num_pes=4, group_size=8)
+        activations = sparse(spec.input_shape, 0.5, seed=3)
+        phases = activation_phase_nonzeros(activations, plan, stride=1)
+        flat = activation_tile_nonzeros(activations, plan)
+        assert phases.shape == (4, 4, 1)
+        np.testing.assert_array_equal(phases[:, :, 0], flat)
+
+    def test_phases_partition_the_nonzeros(self):
+        spec = ConvLayerSpec("s", 3, 8, 23, 23, 5, 5, stride=2)
+        plan = plan_layer(spec, num_pes=16, group_size=8)
+        activations = sparse(spec.input_shape, 0.6, seed=4)
+        phases = activation_phase_nonzeros(activations, plan, stride=2)
+        assert phases.shape == (16, 3, 4)
+        assert phases.sum() == np.count_nonzero(activations)
+        flat = activation_tile_nonzeros(activations, plan)
+        np.testing.assert_array_equal(phases.sum(axis=2), flat)
+
+    def test_weight_phases_partition_the_nonzeros(self):
+        weights = sparse((8, 3, 5, 5), 0.7, seed=5)
+        phases = weight_phase_nonzeros(weights, group_size=8, stride=2, padding=0)
+        assert phases.shape == (1, 3, 4)
+        assert phases.sum() == np.count_nonzero(weights)
+        flat = weight_group_nonzeros(weights, 8)
+        np.testing.assert_array_equal(phases.sum(axis=2), flat)
+
+    def test_phase_matching_consistent_with_output_coordinate(self):
+        """An activation phase and its matched weight phase always produce a
+        stride-aligned output coordinate."""
+        from repro.tensor.coordinates import output_coordinate
+
+        stride, pad = 2, 1
+        for px in range(stride):
+            for py in range(stride):
+                act_phase = py * stride + px
+                # weights assigned to this phase satisfy r % stride == (px+pad) % stride
+                r = (px + pad) % stride
+                s = (py + pad) % stride
+                coords = output_coordinate(
+                    px + 2 * stride, py + 2 * stride, r, s, stride=stride, pad=pad
+                )
+                assert coords is not None, act_phase
+
+    def test_totals(self):
+        spec = ConvLayerSpec("l", 4, 8, 12, 12, 3, 3, padding=1)
+        plan = plan_layer(spec, num_pes=4, group_size=8)
+        totals = activation_tile_totals(np.zeros(spec.input_shape), plan)
+        assert totals.sum() == 4 * 12 * 12
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=4, max_value=30),
+    st.sampled_from([1, 2, 3, 4]),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_phase_counts_always_partition(channels, extent, stride, density, seed):
+    spec = ConvLayerSpec(
+        "p", channels, 8, extent, extent,
+        min(3, extent), min(3, extent), stride=stride,
+    )
+    plan = plan_layer(spec, num_pes=4, group_size=8)
+    activations = sparse(spec.input_shape, density, seed=seed)
+    phases = activation_phase_nonzeros(activations, plan, stride, spec.padding)
+    assert phases.sum() == np.count_nonzero(activations)
+    assert (phases >= 0).all()
