@@ -7,7 +7,12 @@ example reproduces that style of exploration on GoogLeNet:
 * PE granularity at fixed chip-wide throughput (Section VI-C),
 * accumulator banking (the paper's A = 2 x F x I provisioning rule),
 * multiplier-array aspect ratio (F x I),
-* output-channel group size Kc.
+* output-channel group size Kc,
+
+and closes with a full candidate sweep through the simulation engine —
+``dse.sweep(candidates, network, parallel=-1)`` shards the evaluations
+across every CPU and caches the finished design points — reporting the
+Pareto frontier over (latency, energy, area).
 
 Run with::
 
@@ -19,6 +24,7 @@ from dataclasses import replace
 from repro import get_network
 from repro.analysis.reporting import format_table
 from repro.scnn.config import SCNN_CONFIG, scnn_with_pe_count
+from repro.timeloop import dse
 from repro.timeloop.model import estimate_dense_layer, estimate_scnn_layer
 
 WEIGHT_DENSITY = 0.35
@@ -102,6 +108,27 @@ def main() -> None:
         ["Kc", "SCNN cycles", "Speedup vs DCNN", "~accumulator entries/group"],
         rows,
         title="Output-channel group size Kc (paper uses 8)",
+    ))
+    print()
+
+    # --- full candidate sweep through the simulation engine ---------------------
+    candidates = [SCNN_CONFIG] + dse.default_candidates()
+    points = dse.sweep(candidates, network, parallel=-1)
+    frontier = {point.name for point in dse.pareto_frontier(points)}
+    rows = [
+        (
+            point.name,
+            f"{cycles:.2f}",
+            f"{energy:.2f}",
+            f"{area:.2f}",
+            "yes" if point.name in frontier else "",
+        )
+        for point, (_, cycles, energy, area) in zip(points, dse.summarize(points))
+    ]
+    print(format_table(
+        ["Configuration", "Cycles (rel)", "Energy (rel)", "Area (rel)", "Pareto"],
+        rows,
+        title="Engine-backed sweep, normalised to the paper's design point",
     ))
 
 

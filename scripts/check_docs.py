@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Docs health check: every relative markdown link must resolve.
+
+Scans README.md and docs/**/*.md for inline markdown links and verifies
+that link targets pointing into the repository exist on disk.  External
+(http/https/mailto) links and intra-page anchors are skipped — this is a
+structural check, not a crawler.
+
+Exit status: 0 when every link resolves, 1 otherwise (broken links are
+listed on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links: [text](target). Reference-style links are not used here.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def documents() -> list[Path]:
+    found = [REPO_ROOT / "README.md"]
+    found.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    return [path for path in found if path.exists()]
+
+
+def broken_links(document: Path) -> list[str]:
+    broken = []
+    for match in LINK_PATTERN.finditer(document.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (document.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append(f"{document.relative_to(REPO_ROOT)}: {target}")
+    return broken
+
+
+def main() -> int:
+    docs = documents()
+    if not docs:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    failures = [link for document in docs for link in broken_links(document)]
+    if failures:
+        print("broken documentation links:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"checked {len(docs)} documents, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ The public API exposes, in dependency order:
 * ``repro.dataflow`` — loop nests, tiling and dataflow descriptions,
 * ``repro.scnn`` — the SCNN / DCNN functional and cycle-level simulators,
 * ``repro.timeloop`` — the analytical cycle, energy and area models,
+* ``repro.engine`` — the batched simulation engine (caching, process-pool
+  sharding) every experiment routes through,
 * ``repro.experiments`` — one driver per paper table and figure.
 
 Quickstart::
@@ -23,6 +25,7 @@ Quickstart::
     print(f"SCNN speedup over DCNN: {result.network_speedup:.2f}x")
 """
 
+from repro.engine import SimulationEngine, configure_default_engine, default_engine
 from repro.nn import (
     ConvLayerSpec,
     LayerWorkload,
@@ -62,8 +65,11 @@ __all__ = [
     "LayerWorkload",
     "Network",
     "SCNN_CONFIG",
+    "SimulationEngine",
     "__version__",
     "accelerator_area_mm2",
+    "configure_default_engine",
+    "default_engine",
     "alexnet",
     "available_networks",
     "build_network_workloads",

@@ -163,6 +163,48 @@ def _padded_tiles(
     return grid
 
 
+def _integral_image(mask: np.ndarray) -> np.ndarray:
+    """Exclusive 2-D prefix sums of a ``(C, H, W)`` mask: shape ``(C, H+1, W+1)``.
+
+    ``S[:, y, x]`` is the number of non-zeros in ``mask[:, :y, :x]``, so any
+    rectangle count is four lookups — the key to evaluating all per-PE tile
+    counts at once instead of slicing per tile.
+    """
+    padded = np.zeros(
+        (mask.shape[0], mask.shape[1] + 1, mask.shape[2] + 1), dtype=np.int64
+    )
+    inner = padded[:, 1:, 1:]
+    np.cumsum(mask, axis=1, dtype=np.int64, out=inner)
+    np.cumsum(inner, axis=2, out=inner)
+    return padded
+
+
+def _tile_bounds(plan: TilingPlan) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-PE ``(y_lo, y_hi, x_lo, x_hi)`` arrays of the plan's input tiles."""
+    y_lo = np.array([tile.y_lo for tile in plan.input_tiles], dtype=np.int64)
+    y_hi = np.array([tile.y_hi for tile in plan.input_tiles], dtype=np.int64)
+    x_lo = np.array([tile.x_lo for tile in plan.input_tiles], dtype=np.int64)
+    x_hi = np.array([tile.x_hi for tile in plan.input_tiles], dtype=np.int64)
+    return y_lo, y_hi, x_lo, x_hi
+
+
+def _rectangle_counts(
+    integral: np.ndarray,
+    y_lo: np.ndarray,
+    y_hi: np.ndarray,
+    x_lo: np.ndarray,
+    x_hi: np.ndarray,
+) -> np.ndarray:
+    """Count non-zeros of every (channel, rectangle) pair: shape ``(tiles, C)``."""
+    counts = (
+        integral[:, y_hi, x_hi]
+        - integral[:, y_lo, x_hi]
+        - integral[:, y_hi, x_lo]
+        + integral[:, y_lo, x_lo]
+    )
+    return counts.T
+
+
 def activation_phase_nonzeros(
     activations: np.ndarray, plan: TilingPlan, stride: int, padding: int = 0
 ) -> np.ndarray:
@@ -175,6 +217,9 @@ def activation_phase_nonzeros(
     ``stride * stride`` phase sub-streams that each pair with exactly one
     weight phase sub-stream.  For ``stride == 1`` there is a single phase and
     this reduces to :func:`activation_tile_nonzeros`.
+
+    All PEs are counted at once from a per-phase integral image, so the cost
+    is independent of the PE-array size.
 
     Returns:
         Integer array of shape ``(num_pes, C, stride * stride)`` where the
@@ -192,17 +237,20 @@ def activation_phase_nonzeros(
         counts[:, :, 0] = activation_tile_nonzeros(activations, plan)
         return counts
     mask = activations != 0
-    for pe_index, tile in enumerate(plan.input_tiles):
-        if tile.size == 0:
-            continue
-        for py in range(stride):
-            for px in range(stride):
-                sub = mask[
-                    :,
-                    tile.y_lo + ((py - tile.y_lo) % stride) : tile.y_hi : stride,
-                    tile.x_lo + ((px - tile.x_lo) % stride) : tile.x_hi : stride,
-                ]
-                counts[pe_index, :, py * stride + px] = sub.sum(axis=(1, 2))
+    y_lo, y_hi, x_lo, x_hi = _tile_bounds(plan)
+    for py in range(stride):
+        for px in range(stride):
+            # Rows y = py + stride*j of the tile map to rows [j0, j1) of the
+            # phase-decimated plane; ceil divisions pick the first/last
+            # decimated row inside [y_lo, y_hi) (and likewise for columns).
+            decimated = _integral_image(mask[:, py::stride, px::stride])
+            j0 = (y_lo - py + stride - 1) // stride
+            j1 = (y_hi - py + stride - 1) // stride
+            i0 = (x_lo - px + stride - 1) // stride
+            i1 = (x_hi - px + stride - 1) // stride
+            counts[:, :, py * stride + px] = _rectangle_counts(
+                decimated, j0, np.maximum(j0, j1), i0, np.maximum(i0, i1)
+            )
     return counts
 
 
@@ -242,11 +290,7 @@ def weight_phase_nonzeros(
             r_phase = (px + padding) % stride
             sub = mask[:, :, s_phase::stride, r_phase::stride]
             per_channel = sub.reshape(num_k, num_c, -1).sum(axis=2)
-            for group in range(num_groups):
-                k_lo = group * group_size
-                counts[group, :, py * stride + px] = per_channel[
-                    k_lo : k_lo + group_size
-                ].sum(axis=0)
+            counts[:, :, py * stride + px] = _group_sums(per_channel, group_size)
     return counts
 
 
@@ -267,12 +311,23 @@ def weight_group_nonzeros(weights: np.ndarray, group_size: int) -> np.ndarray:
         raise ValueError("group size must be positive")
     num_k, num_c = weights.shape[:2]
     per_channel = np.count_nonzero(weights.reshape(num_k, num_c, -1), axis=2)
+    return _group_sums(per_channel, group_size)
+
+
+def _group_sums(per_channel: np.ndarray, group_size: int) -> np.ndarray:
+    """Sum a ``(K, ...)`` array over output-channel groups: ``(ceil(K/Kc), ...)``.
+
+    The K axis is zero-padded to a multiple of the group size so one reshape
+    replaces the per-group Python loop.
+    """
+    num_k = per_channel.shape[0]
     num_groups = -(-num_k // group_size)
-    counts = np.zeros((num_groups, num_c), dtype=np.int64)
-    for group in range(num_groups):
-        k_lo = group * group_size
-        counts[group] = per_channel[k_lo : k_lo + group_size].sum(axis=0)
-    return counts
+    pad = num_groups * group_size - num_k
+    if pad:
+        widths = [(0, pad)] + [(0, 0)] * (per_channel.ndim - 1)
+        per_channel = np.pad(per_channel, widths)
+    grouped = per_channel.reshape((num_groups, group_size) + per_channel.shape[1:])
+    return grouped.sum(axis=1, dtype=np.int64)
 
 
 def activation_tile_nonzeros(
@@ -290,16 +345,8 @@ def activation_tile_nonzeros(
     activations = np.asarray(activations)
     if activations.ndim != 3:
         raise ValueError(f"expected (C, H, W) activations, got {activations.shape}")
-    num_c = activations.shape[0]
-    mask = activations != 0
-    counts = np.zeros((plan.num_pes, num_c), dtype=np.int64)
-    for pe_index, tile in enumerate(plan.input_tiles):
-        if tile.size == 0:
-            continue
-        counts[pe_index] = mask[:, tile.y_lo : tile.y_hi, tile.x_lo : tile.x_hi].sum(
-            axis=(1, 2)
-        )
-    return counts
+    integral = _integral_image(activations != 0)
+    return _rectangle_counts(integral, *_tile_bounds(plan))
 
 
 def activation_tile_totals(activations: np.ndarray, plan: TilingPlan) -> np.ndarray:

@@ -1,0 +1,168 @@
+"""Content-addressed on-disk result cache for the simulation engine.
+
+Every cacheable unit of work (a layer simulation, a network simulation, a
+DSE design point) is described by a *fingerprint*: a canonical JSON document
+covering everything the result depends on — layer shapes, operand content
+(either the generative coordinates of a synthetic workload or a digest of
+the raw tensors), the full accelerator configuration, the energy table, and
+a schema version bumped whenever the models change meaning.  The SHA-256 of
+that document addresses a pickle file under the cache root, so
+
+* two logically identical requests always share one entry, regardless of
+  which entry point produced them;
+* any change to an input produces a different key — there is no staleness
+  to manage and never a need to "invalidate" entries by hand;
+* bumping :data:`SCHEMA_VERSION` orphans (but does not delete) entries from
+  older model revisions; ``ResultCache.clear()`` removes everything.
+
+The cache is safe for concurrent writers: entries are written to a unique
+temporary file and atomically renamed into place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+# Bump when a model change alters what any cached metric means.
+SCHEMA_VERSION = 1
+
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+_DISABLED = {"", "0", "off", "none", "disabled"}
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Cache root from the ``REPRO_CACHE_DIR`` environment variable.
+
+    Unset (or set to ``0``/``off``/``none``) means the on-disk cache is
+    disabled and the engine only memoises in memory.
+    """
+    raw = os.environ.get(_ENV_CACHE_DIR)
+    if raw is None or raw.strip().lower() in _DISABLED:
+        return None
+    return Path(raw).expanduser()
+
+
+def describe(value: Any) -> Any:
+    """Reduce ``value`` to a canonical JSON-compatible description.
+
+    Dataclasses become sorted field dicts, numpy scalars become Python
+    scalars, and numpy arrays become a content digest (shape, dtype, SHA-256
+    of the raw bytes) so large tensors are fingerprinted without being
+    embedded in the key document.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Underscore-prefixed fields are in-process state (e.g. a workload
+        # handle's materialised tensors), not part of the result's identity.
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {
+                field.name: describe(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+                if not field.name.startswith("_")
+            },
+        }
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(
+                np.ascontiguousarray(value).tobytes()
+            ).hexdigest(),
+            "shape": list(value.shape),
+            "dtype": str(value.dtype),
+        }
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): describe(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [describe(item) for item in value]
+    if isinstance(value, float):
+        # repr round-trips exactly, so equal floats hash equally and nothing
+        # is lost to formatting.
+        return repr(value)
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise TypeError(f"cannot fingerprint value of type {type(value).__name__}")
+
+
+def fingerprint(kind: str, **parts: Any) -> str:
+    """SHA-256 key of one cacheable unit of work."""
+    document = {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "parts": describe(parts),
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry store addressed by :func:`fingerprint` keys.
+
+    Entries live at ``root/<key[:2]>/<key>.pkl`` (the two-character shard
+    keeps directories small).  Unreadable entries are treated as misses and
+    deleted, so a truncated write or a pickle from an incompatible code
+    revision degrades to recomputation, never to an error.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.exists():
+            return iter(())
+        return self.root.glob("??/*.pkl")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entries()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,348 @@
+"""The batched simulation engine.
+
+:class:`SimulationEngine` is the single entry point for running layer and
+network simulations and design-space sweeps.  It composes three layers:
+
+* the **vectorised models** (:mod:`repro.scnn.cycles` over the integral-image
+  tile counts of :mod:`repro.dataflow.tiling`) evaluate one layer without any
+  Python-level element iteration;
+* **process-pool sharding** (:mod:`repro.engine.parallel`) spreads
+  independent layer simulations and candidate configurations across CPU
+  cores, with results always assembled in submission order so parallel runs
+  are bitwise-identical to serial ones;
+* a **content-addressed result cache** (:mod:`repro.engine.cache`) memoises
+  finished metrics in memory and, when a cache directory is configured, on
+  disk keyed by a fingerprint of every input.
+
+Workloads move between processes and cache entries as lazy
+:class:`~repro.engine.workloads.WorkloadHandle` recipes, so neither the pool
+nor the cache ever ships multi-megabyte activation tensors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.cache import ResultCache, default_cache_dir, describe, fingerprint
+from repro.engine.parallel import parallel_map
+from repro.engine.workloads import WorkloadHandle
+from repro.nn.densities import LayerSparsity, network_sparsity
+from repro.nn.inference import LayerWorkload
+from repro.nn.networks import Network, get_network
+from repro.scnn.config import (
+    AcceleratorConfig,
+    DCNN_CONFIG,
+    DCNN_OPT_CONFIG,
+    SCNN_CONFIG,
+)
+from repro.scnn.cycles import LayerCycleResult, simulate_layer_cycles
+from repro.scnn.simulator import LayerSimulation, NetworkSimulation, simulate_layer
+from repro.timeloop.dse import DesignPoint, evaluate_config
+from repro.timeloop.energy import DEFAULT_ENERGY_TABLE, EnergyTable
+
+AnyWorkload = Union[LayerWorkload, WorkloadHandle]
+
+
+# -- picklable worker functions (module level so the process pool can import
+# -- them by reference) --------------------------------------------------------
+
+
+def _build_handle_task(
+    task: Tuple[str, int, int, object, LayerSparsity]
+) -> WorkloadHandle:
+    network_name, seed, index, spec, target = task
+    return WorkloadHandle.build(network_name, seed, index, spec, target)
+
+
+def _simulate_layer_task(
+    task: Tuple[
+        AnyWorkload,
+        Optional[float],
+        AcceleratorConfig,
+        AcceleratorConfig,
+        AcceleratorConfig,
+        EnergyTable,
+    ]
+) -> LayerSimulation:
+    workload, output_density, scnn_config, dcnn_config, dcnn_opt_config, table = task
+    simulation = simulate_layer(
+        workload,
+        scnn_config=scnn_config,
+        dcnn_config=dcnn_config,
+        dcnn_opt_config=dcnn_opt_config,
+        energy_table=table,
+        output_density=output_density,
+    )
+    if isinstance(workload, WorkloadHandle):
+        # Keep the slim handle as the simulation's workload so pickling the
+        # result (pool return, disk cache) never ships the tensors.
+        simulation = dataclasses.replace(simulation, workload=workload)
+    return simulation
+
+
+def _layer_cycles_task(
+    task: Tuple[AnyWorkload, AcceleratorConfig]
+) -> LayerCycleResult:
+    workload, config = task
+    return simulate_layer_cycles(
+        workload.spec, workload.weights, workload.activations, config
+    )
+
+
+def _design_point_task(
+    task: Tuple[AcceleratorConfig, Network, Dict[str, LayerSparsity], EnergyTable]
+) -> DesignPoint:
+    config, network, sparsity, table = task
+    return evaluate_config(config, network, sparsity=sparsity, energy_table=table)
+
+
+@dataclass
+class EngineRun:
+    """Result grid of one :meth:`SimulationEngine.run` call.
+
+    ``results[i][j]`` is the cycle-model result of ``workloads[i]`` on
+    ``configs[j]``.
+    """
+
+    workloads: List[AnyWorkload]
+    configs: List[AcceleratorConfig]
+    results: List[List[LayerCycleResult]]
+
+    def column(self, config_name: str) -> List[LayerCycleResult]:
+        """All per-workload results of the named configuration."""
+        for j, config in enumerate(self.configs):
+            if config.name == config_name:
+                return [row[j] for row in self.results]
+        raise KeyError(f"no evaluated configuration named {config_name!r}")
+
+    def total_cycles(self, config_name: str) -> int:
+        return sum(result.cycles for result in self.column(config_name))
+
+
+class SimulationEngine:
+    """Cached, optionally parallel front end to every simulation model.
+
+    Args:
+        cache_dir: on-disk cache root.  ``None`` (default) reads the
+            ``REPRO_CACHE_DIR`` environment variable; ``False`` disables the
+            disk cache outright; a path enables it there.
+        parallel: default process-pool size for all ``run*`` methods
+            (``None``/``0``/``1`` = serial, ``-1`` = one worker per CPU).
+            Each call can override it.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[None, bool, str, Path] = None,
+        parallel: Optional[int] = None,
+    ) -> None:
+        if cache_dir is None:
+            resolved = default_cache_dir()
+        elif cache_dir is False:
+            resolved = None
+        else:
+            resolved = Path(cache_dir)
+        self.disk_cache: Optional[ResultCache] = (
+            ResultCache(resolved) if resolved is not None else None
+        )
+        self.parallel = parallel
+        self._memory: Dict[str, object] = {}
+        self.memory_hits = 0
+
+    # -- cache plumbing ---------------------------------------------------------
+
+    def _lookup(self, key: str):
+        value = self._memory.get(key)
+        if value is not None:
+            self.memory_hits += 1
+            return value
+        if self.disk_cache is not None:
+            value = self.disk_cache.get(key)
+            if value is not None:
+                self._memory[key] = value
+        return value
+
+    def _store(self, key: str, value) -> None:
+        self._memory[key] = value
+        if self.disk_cache is not None:
+            self.disk_cache.put(key, value)
+
+    def clear_cache(self) -> None:
+        """Drop the in-memory memo table and every on-disk entry."""
+        self._memory.clear()
+        if self.disk_cache is not None:
+            self.disk_cache.clear()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        counters = {"memory_hits": self.memory_hits, "memory_entries": len(self._memory)}
+        if self.disk_cache is not None:
+            counters["disk_hits"] = self.disk_cache.hits
+            counters["disk_misses"] = self.disk_cache.misses
+        return counters
+
+    def _workers(self, parallel: Optional[int]) -> Optional[int]:
+        return self.parallel if parallel is None else parallel
+
+    # -- network simulation -----------------------------------------------------
+
+    def run_network(
+        self,
+        network: Union[str, Network],
+        seed: int = 0,
+        *,
+        parallel: Optional[int] = None,
+        scnn_config: AcceleratorConfig = SCNN_CONFIG,
+        dcnn_config: AcceleratorConfig = DCNN_CONFIG,
+        dcnn_opt_config: AcceleratorConfig = DCNN_OPT_CONFIG,
+        energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+    ) -> NetworkSimulation:
+        """Simulate every layer of ``network`` (SCNN + DCNN + oracle + energy).
+
+        Equivalent to :func:`repro.scnn.simulator.simulate_network` — the
+        metrics are bitwise-identical — but cached and shardable: workload
+        generation and the per-layer simulations fan out across the process
+        pool, and a repeated request is served from the cache.
+        """
+        if isinstance(network, str):
+            network = get_network(network)
+        sparsity = network_sparsity(network)
+        key = fingerprint(
+            "network-simulation",
+            network=network,
+            seed=seed,
+            sparsity=sparsity,
+            scnn=scnn_config,
+            dcnn=dcnn_config,
+            dcnn_opt=dcnn_opt_config,
+            energy=energy_table,
+        )
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+
+        workers = self._workers(parallel)
+        build_tasks = [
+            (network.name, seed, index, spec, sparsity[spec.name])
+            for index, spec in enumerate(network.layers)
+        ]
+        handles = parallel_map(_build_handle_task, build_tasks, workers)
+        simulate_tasks = []
+        for index, handle in enumerate(handles):
+            output_density = (
+                handles[index + 1].activation_density
+                if index + 1 < len(handles)
+                else None
+            )
+            simulate_tasks.append(
+                (
+                    handle,
+                    output_density,
+                    scnn_config,
+                    dcnn_config,
+                    dcnn_opt_config,
+                    energy_table,
+                )
+            )
+        layers = parallel_map(_simulate_layer_task, simulate_tasks, workers)
+        simulation = NetworkSimulation(network=network, layers=layers)
+        self._store(key, simulation)
+        return simulation
+
+    # -- batched layer evaluation -----------------------------------------------
+
+    def run(
+        self,
+        workloads: Sequence[AnyWorkload],
+        configs: Optional[Sequence[AcceleratorConfig]] = None,
+        *,
+        parallel: Optional[int] = None,
+    ) -> EngineRun:
+        """Evaluate every workload on every configuration with the cycle model.
+
+        The (workload, config) grid is flattened into independent tasks and
+        sharded across the pool; each cell is individually content-addressed
+        in the disk cache (synthetic workloads by their generative recipe,
+        raw workloads by a digest of their tensors).
+        """
+        workloads = list(workloads)
+        configs = list(configs) if configs is not None else [SCNN_CONFIG]
+        cells: List[List[Optional[LayerCycleResult]]] = [
+            [None] * len(configs) for _ in workloads
+        ]
+        # Describe each workload and config once up front — a raw workload's
+        # description digests its tensors, which must not be repeated per
+        # grid cell.  describe() output is canonical JSON data, so feeding it
+        # back through fingerprint() is idempotent.
+        workload_parts = [describe(workload) for workload in workloads]
+        config_parts = [describe(config) for config in configs]
+        pending: List[Tuple[int, int, str]] = []
+        for i, workload in enumerate(workloads):
+            for j, config in enumerate(configs):
+                key = fingerprint(
+                    "layer-cycles", workload=workload_parts[i], config=config_parts[j]
+                )
+                cached = self._lookup(key)
+                if cached is not None:
+                    cells[i][j] = cached
+                else:
+                    pending.append((i, j, key))
+        results = parallel_map(
+            _layer_cycles_task,
+            [(workloads[i], configs[j]) for i, j, _ in pending],
+            self._workers(parallel),
+        )
+        for (i, j, key), result in zip(pending, results):
+            cells[i][j] = result
+            self._store(key, result)
+        return EngineRun(workloads=workloads, configs=configs, results=cells)
+
+    # -- design-space exploration -----------------------------------------------
+
+    def sweep(
+        self,
+        configs: Sequence[AcceleratorConfig],
+        network: Union[str, Network],
+        *,
+        sparsity: Optional[Dict[str, LayerSparsity]] = None,
+        energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+        parallel: Optional[int] = None,
+    ) -> List[DesignPoint]:
+        """Evaluate candidate configurations on ``network``, in parallel.
+
+        Drop-in replacement for :func:`repro.timeloop.dse.sweep`: the same
+        analytical model evaluates each candidate, but candidates shard
+        across the pool and finished design points are cached.
+        """
+        if isinstance(network, str):
+            network = get_network(network)
+        if sparsity is None:
+            sparsity = network_sparsity(network)
+        configs = list(configs)
+        points: List[Optional[DesignPoint]] = [None] * len(configs)
+        pending: List[Tuple[int, str]] = []
+        for index, config in enumerate(configs):
+            key = fingerprint(
+                "design-point",
+                config=config,
+                network=network,
+                sparsity=sparsity,
+                energy=energy_table,
+            )
+            cached = self._lookup(key)
+            if cached is not None:
+                points[index] = cached
+            else:
+                pending.append((index, key))
+        results = parallel_map(
+            _design_point_task,
+            [(configs[index], network, sparsity, energy_table) for index, _ in pending],
+            self._workers(parallel),
+        )
+        for (index, key), point in zip(pending, results):
+            points[index] = point
+            self._store(key, point)
+        return points

@@ -3,6 +3,13 @@
 Lists and runs the experiment drivers (one per paper table/figure) so the
 evaluation can be regenerated without writing any Python.  ``python -m repro``
 forwards here as well.
+
+The simulation engine behind the drivers is configured here: ``--parallel N``
+shards independent layer simulations across N worker processes, and
+``--cache-dir PATH`` persists finished metrics to a content-addressed
+on-disk cache so re-running an experiment with unchanged inputs is instant
+(``REPRO_CACHE_DIR`` sets the same root environment-wide; ``--no-cache``
+overrides both).
 """
 
 from __future__ import annotations
@@ -11,6 +18,8 @@ import argparse
 import sys
 import time
 from typing import Dict, List, Sequence
+
+from repro.engine import configure_default_engine
 
 from repro.experiments import (
     fig1_density,
@@ -55,6 +64,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard layer simulations across N worker processes "
+        "(-1 = one per CPU; default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist simulation results to a content-addressed cache at PATH "
+        "(default: $REPRO_CACHE_DIR if set, else no on-disk cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache even if $REPRO_CACHE_DIR is set",
+    )
     return parser
 
 
@@ -94,6 +123,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list:
         print(list_experiments())
         return 0
+    cache_dir = False if args.no_cache else args.cache_dir
+    if cache_dir is not None or args.parallel is not None:
+        configure_default_engine(cache_dir=cache_dir, parallel=args.parallel)
     try:
         run_experiments(args.experiments)
     except KeyError as error:

@@ -1,8 +1,12 @@
 """Shared helpers for the experiment drivers.
 
-Several figures (8, 9, 10) consume the same per-network simulations; this
-module caches them so an experiment session (or a benchmark run) builds each
-network's workloads and simulation exactly once.
+Several figures (8, 9, 10) consume the same per-network simulations.  All of
+them route through the shared :class:`~repro.engine.SimulationEngine`, which
+memoises each network's simulation in memory (so one experiment session
+builds it exactly once, as before), shards the per-layer work across a
+process pool when parallelism is configured, and persists finished metrics
+to the content-addressed on-disk cache when ``REPRO_CACHE_DIR`` (or the CLI
+``--cache-dir`` flag) names a cache root.
 """
 
 from __future__ import annotations
@@ -10,8 +14,9 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Tuple
 
+from repro.engine import default_engine
 from repro.nn.networks import Network, get_network
-from repro.scnn.simulator import NetworkSimulation, simulate_network
+from repro.scnn.simulator import NetworkSimulation
 
 EVALUATED_NETWORKS: Tuple[str, ...] = ("alexnet", "googlenet", "vggnet")
 
@@ -29,12 +34,12 @@ def cached_network(name: str) -> Network:
     return get_network(name)
 
 
-@lru_cache(maxsize=None)
 def cached_simulation(name: str, seed: int = 0) -> NetworkSimulation:
     """Full network simulation (workloads + SCNN + DCNN + oracle + energy).
 
-    Cached because the workload generation and the oracle's exact non-zero
-    product count are the expensive parts, and Figures 8, 9 and 10 all read
-    from the same simulation.
+    Served by the shared simulation engine: the first request computes (in
+    parallel, if the engine is configured for it), repeats hit the engine's
+    in-memory memo table, and cross-process repeats hit the on-disk cache
+    when one is configured.
     """
-    return simulate_network(cached_network(name), seed=seed)
+    return default_engine().run_network(cached_network(name), seed=seed)

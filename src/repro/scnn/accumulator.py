@@ -155,9 +155,15 @@ def expected_conflict_cycles(
         return float(guaranteed)
     rng = np.random.default_rng(seed)
     assignments = rng.integers(0, banks, size=(samples, products))
-    stalls = 0.0
-    for row in assignments:
-        loads = np.bincount(row, minlength=banks)
-        overflow = np.maximum(loads - queue_depth, 0).sum()
-        stalls += max(loads.max() - 1 if queue_depth <= 1 else 0, overflow)
-    return float(guaranteed) + stalls / samples
+    # All samples at once: offset each row into its own bank range so a single
+    # bincount yields the (samples, banks) load matrix.
+    offsets = assignments + np.arange(samples)[:, None] * banks
+    loads = np.bincount(offsets.ravel(), minlength=samples * banks).reshape(
+        samples, banks
+    )
+    overflow = np.maximum(loads - queue_depth, 0).sum(axis=1)
+    if queue_depth <= 1:
+        per_sample = np.maximum(loads.max(axis=1) - 1, overflow)
+    else:
+        per_sample = overflow
+    return float(guaranteed) + float(per_sample.sum()) / samples

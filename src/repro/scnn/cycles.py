@@ -16,8 +16,10 @@ count the functional simulator measures:
   *maximum* per-PE busy count — the difference between a PE's busy cycles and
   that maximum is the idle (barrier) time reported in Figure 9.
 
-Everything is a handful of numpy matrix products, so whole networks simulate
-in milliseconds.
+Everything is a handful of numpy matrix products over the integral-image
+tile counts from :mod:`repro.dataflow.tiling` — no Python-level element
+iteration anywhere on the hot path — so whole networks simulate in
+milliseconds, and the simulation engine can batch layers freely.
 """
 
 from __future__ import annotations

@@ -5,6 +5,16 @@ dense DCNN baseline, the oracle bound and the energy model;
 ``simulate_network`` does so for every layer of a catalogue network and
 aggregates the per-layer results the way the paper's figures do (per layer,
 per inception module, and network-wide).
+
+Both functions are pure: the same workload and configuration always yield
+the same metrics, with no hidden state.  That is what lets the batched
+simulation engine (:mod:`repro.engine`) shard ``simulate_layer`` calls
+across a process pool and cache finished :class:`LayerSimulation` /
+:class:`NetworkSimulation` objects content-addressed on disk — parallel,
+cached runs are bitwise-identical to calling ``simulate_network`` directly.
+Experiments should prefer ``SimulationEngine.run_network`` over calling
+``simulate_network`` in a loop; this module stays the serial reference
+implementation the engine is validated against.
 """
 
 from __future__ import annotations

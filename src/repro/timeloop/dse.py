@@ -6,6 +6,12 @@ module packages that style of study into a reusable API: define a set of
 candidate :class:`repro.scnn.config.AcceleratorConfig` instances, evaluate
 each on a workload suite with the analytical cycle/energy/area models, and
 extract the Pareto frontier over (latency, energy, area).
+
+Candidate evaluations are independent of one another, so :func:`sweep`
+accepts ``parallel=N`` to shard them across the simulation engine's process
+pool (and through its result cache); ``sweep(configs, network)`` without
+``parallel`` keeps the plain serial loop.  Both paths produce identical
+design points.
 """
 
 from __future__ import annotations
@@ -105,8 +111,21 @@ def sweep(
     network: Network,
     *,
     energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+    parallel: int | None = None,
 ) -> List[DesignPoint]:
-    """Evaluate every candidate configuration on ``network``."""
+    """Evaluate every candidate configuration on ``network``.
+
+    With ``parallel=N`` the candidates are sharded across the shared
+    simulation engine's process pool and served from its result cache;
+    results are identical to the serial loop either way.
+    """
+    configs = list(configs)
+    if parallel is not None and parallel not in (0, 1):
+        from repro.engine import default_engine
+
+        return default_engine().sweep(
+            configs, network, energy_table=energy_table, parallel=parallel
+        )
     return [
         evaluate_config(config, network, energy_table=energy_table)
         for config in configs

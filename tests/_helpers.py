@@ -1,0 +1,35 @@
+"""Importable test helpers.
+
+Plain functions shared between test modules live here rather than in
+``conftest.py``: pytest inserts *both* ``tests/`` and ``benchmarks/`` on
+``sys.path`` (rootdir-relative), so ``from conftest import ...`` resolves to
+whichever conftest was imported first and is not a stable import target.
+``tests/_helpers.py`` is unambiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.densities import LayerSparsity
+from repro.nn.inference import LayerWorkload, generate_activations
+from repro.nn.layers import ConvLayerSpec
+from repro.nn.pruning import generate_pruned_weights
+
+
+def make_workload(
+    spec: ConvLayerSpec,
+    weight_density: float = 0.4,
+    activation_density: float = 0.5,
+    seed: int = 0,
+) -> LayerWorkload:
+    """Build a deterministic workload for an arbitrary spec."""
+    rng = np.random.default_rng(seed)
+    weights = generate_pruned_weights(spec, weight_density, rng)
+    activations = generate_activations(spec, activation_density, rng)
+    return LayerWorkload(
+        spec=spec,
+        weights=weights,
+        activations=activations,
+        target=LayerSparsity(weight_density, activation_density),
+    )

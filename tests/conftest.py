@@ -10,10 +10,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn.inference import LayerWorkload, generate_activations
+from repro.nn.inference import LayerWorkload
 from repro.nn.layers import ConvLayerSpec
-from repro.nn.densities import LayerSparsity
-from repro.nn.pruning import generate_pruned_weights
+
+from _helpers import make_workload
 
 
 @pytest.fixture
@@ -58,24 +58,6 @@ def pointwise_spec() -> ConvLayerSpec:
         "pointwise", in_channels=24, out_channels=16,
         input_height=7, input_width=7,
         filter_height=1, filter_width=1,
-    )
-
-
-def make_workload(
-    spec: ConvLayerSpec,
-    weight_density: float = 0.4,
-    activation_density: float = 0.5,
-    seed: int = 0,
-) -> LayerWorkload:
-    """Build a deterministic workload for an arbitrary spec."""
-    rng = np.random.default_rng(seed)
-    weights = generate_pruned_weights(spec, weight_density, rng)
-    activations = generate_activations(spec, activation_density, rng)
-    return LayerWorkload(
-        spec=spec,
-        weights=weights,
-        activations=activations,
-        target=LayerSparsity(weight_density, activation_density),
     )
 
 

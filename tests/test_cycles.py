@@ -17,7 +17,7 @@ from repro.scnn.config import SCNN_CONFIG, scnn_with_pe_count
 from repro.scnn.cycles import simulate_layer_cycles
 from repro.scnn.functional import run_functional_layer
 
-from conftest import make_workload
+from _helpers import make_workload
 
 
 def cycle_and_functional(spec, wd=0.4, ad=0.5, seed=0, config=SCNN_CONFIG):

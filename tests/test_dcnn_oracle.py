@@ -8,7 +8,7 @@ from repro.scnn.config import DCNN_CONFIG, SCNN_CONFIG
 from repro.scnn.dcnn import simulate_dcnn_layer
 from repro.scnn.oracle import nonzero_multiplies, oracle_cycles
 
-from conftest import make_workload
+from _helpers import make_workload
 
 
 class TestDcnnBaseline:

@@ -1,0 +1,279 @@
+"""Tests for the batched simulation engine (repro.engine).
+
+Three properties matter:
+
+* caching is correct — hits return exactly what a fresh computation would,
+  misses recompute, and any input change produces a different key;
+* the parallel path is bitwise-identical to the serial path;
+* results through the engine equal the plain ``simulate_network`` /
+  ``dse.sweep`` reference implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ResultCache,
+    SimulationEngine,
+    WorkloadHandle,
+    fingerprint,
+    resolve_workers,
+)
+from repro.nn.densities import LayerSparsity, network_sparsity
+from repro.nn.inference import build_network_workloads
+from repro.nn.layers import ConvLayerSpec
+from repro.nn.networks import Network
+from repro.scnn.config import SCNN_CONFIG, scnn_with_pe_count
+from repro.scnn.simulator import simulate_network
+from repro.timeloop.dse import default_candidates, sweep
+
+from _helpers import make_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_network() -> Network:
+    return Network(
+        "EngineNet",
+        (
+            ConvLayerSpec("e1", 3, 8, 14, 14, 3, 3, padding=1),
+            ConvLayerSpec("e2", 8, 16, 14, 14, 3, 3, padding=1),
+            ConvLayerSpec("e3", 16, 8, 7, 7, 1, 1),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_simulation(tiny_network):
+    return simulate_network(tiny_network, seed=0)
+
+
+def assert_simulations_identical(left, right):
+    assert len(left.layers) == len(right.layers)
+    for a, b in zip(left.layers, right.layers):
+        assert a.layer_name == b.layer_name
+        assert a.scnn.cycles == b.scnn.cycles
+        assert a.scnn.products == b.scnn.products
+        assert np.array_equal(a.scnn.busy_cycles_per_pe, b.scnn.busy_cycles_per_pe)
+        assert a.dcnn.cycles == b.dcnn.cycles
+        assert a.oracle_cycles == b.oracle_cycles
+        assert a.output_density == b.output_density
+        assert set(a.energy) == set(b.energy)
+        for name in a.energy:
+            assert a.energy[name].total == b.energy[name].total
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = fingerprint("unit", value=1)
+        assert cache.get(key) is None
+        cache.put(key, {"cycles": 42})
+        assert cache.get(key) == {"cycles": 42}
+        assert cache.hits == 1 and cache.misses == 1
+        assert key in cache and len(cache) == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = fingerprint("unit", value=2)
+        cache.put(key, "payload")
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()  # bad entry deleted, next put recreates it
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for value in range(3):
+            cache.put(fingerprint("unit", value=value), value)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestFingerprint:
+    def test_any_input_change_changes_the_key(self, tiny_network):
+        sparsity = network_sparsity(tiny_network)
+        base = fingerprint("net", network=tiny_network, seed=0, sparsity=sparsity,
+                           config=SCNN_CONFIG)
+        assert base == fingerprint("net", network=tiny_network, seed=0,
+                                   sparsity=sparsity, config=SCNN_CONFIG)
+        assert base != fingerprint("net", network=tiny_network, seed=1,
+                                   sparsity=sparsity, config=SCNN_CONFIG)
+        assert base != fingerprint("net", network=tiny_network, seed=0,
+                                   sparsity=sparsity, config=scnn_with_pe_count(16))
+        assert base != fingerprint("other", network=tiny_network, seed=0,
+                                   sparsity=sparsity, config=SCNN_CONFIG)
+
+    def test_tensor_content_addresses_raw_workloads(self, small_spec):
+        workload = make_workload(small_spec)
+        same = make_workload(small_spec)
+        different = make_workload(small_spec, seed=7)
+        assert fingerprint("wl", workload=workload) == fingerprint("wl", workload=same)
+        assert fingerprint("wl", workload=workload) != fingerprint(
+            "wl", workload=different
+        )
+
+    def test_handle_materialization_does_not_change_the_key(self, tiny_network):
+        sparsity = network_sparsity(tiny_network)
+        spec = tiny_network.layers[0]
+        handle = WorkloadHandle.build("EngineNet", 0, 0, spec, sparsity[spec.name])
+        slim = WorkloadHandle(
+            network_name="EngineNet", seed=0, index=0, spec=spec,
+            target=sparsity[spec.name],
+            weight_density=handle.weight_density,
+            activation_density=handle.activation_density,
+        )
+        assert fingerprint("wl", workload=handle) == fingerprint("wl", workload=slim)
+
+
+class TestWorkloadHandle:
+    def test_regenerates_exact_tensors(self, tiny_network):
+        workloads = build_network_workloads(tiny_network, seed=0)
+        sparsity = network_sparsity(tiny_network)
+        for index, (spec, workload) in enumerate(
+            zip(tiny_network.layers, workloads)
+        ):
+            handle = WorkloadHandle(
+                network_name=tiny_network.name, seed=0, index=index, spec=spec,
+                target=sparsity[spec.name],
+                weight_density=workload.weight_density,
+                activation_density=workload.activation_density,
+            )
+            assert np.array_equal(handle.weights, workload.weights)
+            assert np.array_equal(handle.activations, workload.activations)
+            assert handle.nonzero_multiplies == workload.nonzero_multiplies
+
+    def test_pickle_drops_tensors_and_survives_round_trip(self, tiny_network):
+        import pickle
+
+        sparsity = network_sparsity(tiny_network)
+        spec = tiny_network.layers[0]
+        handle = WorkloadHandle.build(tiny_network.name, 0, 0, spec, sparsity[spec.name])
+        assert handle._materialized is not None
+        restored = pickle.loads(pickle.dumps(handle))
+        assert restored._materialized is None
+        assert np.array_equal(restored.weights, handle.weights)
+        assert len(pickle.dumps(handle)) < 2000  # recipe, not tensors
+
+
+class TestEngineNetworkSimulation:
+    def test_serial_engine_matches_simulate_network(
+        self, tiny_network, reference_simulation
+    ):
+        engine = SimulationEngine(cache_dir=False)
+        assert_simulations_identical(
+            engine.run_network(tiny_network, seed=0), reference_simulation
+        )
+
+    def test_parallel_identical_to_serial(self, tiny_network, reference_simulation):
+        engine = SimulationEngine(cache_dir=False)
+        parallel = engine.run_network(tiny_network, seed=0, parallel=2)
+        assert_simulations_identical(parallel, reference_simulation)
+
+    def test_memory_cache_returns_same_object(self, tiny_network):
+        engine = SimulationEngine(cache_dir=False)
+        first = engine.run_network(tiny_network, seed=0)
+        second = engine.run_network(tiny_network, seed=0)
+        assert second is first
+        assert engine.memory_hits == 1
+
+    def test_disk_cache_hit_across_engines(
+        self, tiny_network, reference_simulation, tmp_path
+    ):
+        writer = SimulationEngine(cache_dir=tmp_path)
+        writer.run_network(tiny_network, seed=0)
+        reader = SimulationEngine(cache_dir=tmp_path)
+        restored = reader.run_network(tiny_network, seed=0)
+        assert reader.disk_cache.hits == 1
+        assert_simulations_identical(restored, reference_simulation)
+        # The restored simulation's workloads rematerialise real tensors.
+        assert restored.layers[0].workload.weights.shape == (8, 3, 3, 3)
+
+    def test_seed_change_is_a_miss(self, tiny_network, tmp_path):
+        engine = SimulationEngine(cache_dir=tmp_path)
+        engine.run_network(tiny_network, seed=0)
+        engine.run_network(tiny_network, seed=1)
+        assert len(engine.disk_cache) == 2
+
+    def test_clear_cache(self, tiny_network, tmp_path):
+        engine = SimulationEngine(cache_dir=tmp_path)
+        engine.run_network(tiny_network, seed=0)
+        engine.clear_cache()
+        assert len(engine.disk_cache) == 0
+        assert engine.stats["memory_entries"] == 0
+
+
+class TestEngineRunGrid:
+    @pytest.fixture(scope="class")
+    def workloads(self, tiny_network):
+        return build_network_workloads(tiny_network, seed=0)
+
+    def test_grid_covers_every_cell(self, workloads):
+        engine = SimulationEngine(cache_dir=False)
+        configs = [SCNN_CONFIG, scnn_with_pe_count(16)]
+        run = engine.run(workloads, configs)
+        assert len(run.results) == len(workloads)
+        assert all(len(row) == len(configs) for row in run.results)
+        assert run.total_cycles("SCNN") > 0
+        with pytest.raises(KeyError):
+            run.column("nonexistent")
+
+    def test_parallel_grid_identical_to_serial(self, workloads):
+        configs = [SCNN_CONFIG, scnn_with_pe_count(16)]
+        serial = SimulationEngine(cache_dir=False).run(workloads, configs)
+        parallel = SimulationEngine(cache_dir=False).run(
+            workloads, configs, parallel=2
+        )
+        for row_s, row_p in zip(serial.results, parallel.results):
+            for cell_s, cell_p in zip(row_s, row_p):
+                assert cell_s.cycles == cell_p.cycles
+                assert cell_s.products == cell_p.products
+
+    def test_cells_individually_cached(self, workloads, tmp_path):
+        engine = SimulationEngine(cache_dir=tmp_path)
+        engine.run(workloads[:2], [SCNN_CONFIG])
+        assert len(engine.disk_cache) == 2
+        fresh = SimulationEngine(cache_dir=tmp_path)
+        fresh.run(workloads[:2], [SCNN_CONFIG])
+        assert fresh.disk_cache.hits == 2 and fresh.disk_cache.misses == 0
+
+
+class TestEngineSweep:
+    def test_matches_serial_dse_sweep(self, tiny_network):
+        candidates = default_candidates()
+        reference = sweep(candidates, tiny_network)
+        engine_points = SimulationEngine(cache_dir=False).sweep(
+            candidates, tiny_network, parallel=2
+        )
+        assert [p.name for p in engine_points] == [p.name for p in reference]
+        for ours, theirs in zip(engine_points, reference):
+            assert ours.cycles == theirs.cycles
+            assert ours.energy == theirs.energy
+            assert ours.area_mm2 == theirs.area_mm2
+
+    def test_dse_sweep_parallel_flag_routes_through_engine(self, tiny_network):
+        candidates = default_candidates()[:3]
+        assert [p.cycles for p in sweep(candidates, tiny_network, parallel=2)] == [
+            p.cycles for p in sweep(candidates, tiny_network)
+        ]
+
+    def test_sweep_cached(self, tiny_network, tmp_path):
+        candidates = default_candidates()[:2]
+        engine = SimulationEngine(cache_dir=tmp_path)
+        engine.sweep(candidates, tiny_network)
+        fresh = SimulationEngine(cache_dir=tmp_path)
+        fresh.sweep(candidates, tiny_network)
+        assert fresh.disk_cache.hits == 2
+
+
+class TestResolveWorkers:
+    def test_serial_sentinels(self):
+        assert resolve_workers(None, 10) == 0
+        assert resolve_workers(0, 10) == 0
+        assert resolve_workers(1, 10) == 0
+        assert resolve_workers(4, 0) == 0
+
+    def test_bounded_by_tasks_and_cpus(self):
+        import os
+
+        assert resolve_workers(8, 3) == 3
+        assert resolve_workers(-1, 2) == min(os.cpu_count() or 1, 2)

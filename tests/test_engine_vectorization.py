@@ -1,0 +1,166 @@
+"""Numpy-vs-reference equivalence for the engine's vectorised hot loops.
+
+The integral-image tile counts (repro.dataflow.tiling) and the batched
+Monte-Carlo conflict estimate (repro.scnn.accumulator) replaced per-PE /
+per-sample Python loops.  These tests pin them against straightforward
+scalar reimplementations of the original loops on small workloads — exact
+integer equality, not approximate agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.tiling import (
+    activation_phase_nonzeros,
+    activation_tile_nonzeros,
+    plan_layer,
+    weight_group_nonzeros,
+    weight_phase_nonzeros,
+)
+from repro.nn.layers import ConvLayerSpec
+from repro.scnn.accumulator import expected_conflict_cycles
+
+from _helpers import make_workload
+
+
+# -- scalar reference implementations (the pre-vectorisation loops) -----------
+
+
+def scalar_tile_nonzeros(activations, plan):
+    mask = activations != 0
+    counts = np.zeros((plan.num_pes, activations.shape[0]), dtype=np.int64)
+    for pe_index, tile in enumerate(plan.input_tiles):
+        if tile.size == 0:
+            continue
+        counts[pe_index] = mask[
+            :, tile.y_lo : tile.y_hi, tile.x_lo : tile.x_hi
+        ].sum(axis=(1, 2))
+    return counts
+
+
+def scalar_phase_nonzeros(activations, plan, stride):
+    mask = activations != 0
+    num_c = activations.shape[0]
+    counts = np.zeros((plan.num_pes, num_c, stride * stride), dtype=np.int64)
+    if stride == 1:
+        counts[:, :, 0] = scalar_tile_nonzeros(activations, plan)
+        return counts
+    for pe_index, tile in enumerate(plan.input_tiles):
+        if tile.size == 0:
+            continue
+        for py in range(stride):
+            for px in range(stride):
+                sub = mask[
+                    :,
+                    tile.y_lo + ((py - tile.y_lo) % stride) : tile.y_hi : stride,
+                    tile.x_lo + ((px - tile.x_lo) % stride) : tile.x_hi : stride,
+                ]
+                counts[pe_index, :, py * stride + px] = sub.sum(axis=(1, 2))
+    return counts
+
+
+def scalar_group_nonzeros(weights, group_size):
+    num_k, num_c = weights.shape[:2]
+    per_channel = np.count_nonzero(weights.reshape(num_k, num_c, -1), axis=2)
+    num_groups = -(-num_k // group_size)
+    counts = np.zeros((num_groups, num_c), dtype=np.int64)
+    for group in range(num_groups):
+        k_lo = group * group_size
+        counts[group] = per_channel[k_lo : k_lo + group_size].sum(axis=0)
+    return counts
+
+
+def scalar_conflict_cycles(products, banks, queue_depth=4, samples=2048, seed=0):
+    if products <= 0:
+        return 0.0
+    guaranteed = max(0, -(-products // banks) - 1)
+    if banks >= products and queue_depth >= 2:
+        return float(guaranteed)
+    rng = np.random.default_rng(seed)
+    assignments = rng.integers(0, banks, size=(samples, products))
+    stalls = 0.0
+    for row in assignments:
+        loads = np.bincount(row, minlength=banks)
+        overflow = np.maximum(loads - queue_depth, 0).sum()
+        stalls += max(loads.max() - 1 if queue_depth <= 1 else 0, overflow)
+    return float(guaranteed) + stalls / samples
+
+
+SHAPES = [
+    # (name, C, K, H, W, filter, stride, padding, num_pes)
+    ("same_padded", 8, 16, 14, 14, 3, 1, 1, 64),
+    ("strided", 3, 8, 23, 23, 5, 2, 0, 64),
+    ("strided_nonsquare", 5, 17, 31, 13, 3, 2, 1, 64),
+    ("stride3_awkward", 2, 3, 5, 5, 3, 3, 1, 4),
+    ("pointwise_small_grid", 24, 16, 7, 7, 1, 1, 0, 16),
+]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=[s[0] for s in SHAPES])
+class TestTileCountEquivalence:
+    def _workload_and_plan(self, shape, num_pes_override=None):
+        _, c, k, h, w, f, stride, pad, num_pes = shape
+        spec = ConvLayerSpec(
+            "vec", c, k, h, w, f, f, stride=stride, padding=pad
+        )
+        plan = plan_layer(
+            spec, num_pes=num_pes_override or num_pes, group_size=8
+        )
+        workload = make_workload(spec, 0.4, 0.5, seed=11)
+        return spec, plan, workload
+
+    def test_activation_tile_counts(self, shape):
+        _, plan, workload = self._workload_and_plan(shape)
+        assert np.array_equal(
+            activation_tile_nonzeros(workload.activations, plan),
+            scalar_tile_nonzeros(workload.activations, plan),
+        )
+
+    def test_activation_phase_counts(self, shape):
+        spec, plan, workload = self._workload_and_plan(shape)
+        assert np.array_equal(
+            activation_phase_nonzeros(
+                workload.activations, plan, spec.stride, spec.padding
+            ),
+            scalar_phase_nonzeros(workload.activations, plan, spec.stride),
+        )
+
+    def test_weight_group_counts(self, shape):
+        spec, _, workload = self._workload_and_plan(shape)
+        for group_size in (3, 8, 16):
+            assert np.array_equal(
+                weight_group_nonzeros(workload.weights, group_size),
+                scalar_group_nonzeros(workload.weights, group_size),
+            )
+
+    def test_weight_phase_counts_cover_all_nonzeros(self, shape):
+        spec, _, workload = self._workload_and_plan(shape)
+        counts = weight_phase_nonzeros(workload.weights, 8, spec.stride, spec.padding)
+        assert counts.sum() == np.count_nonzero(workload.weights)
+
+    def test_phase_counts_partition_tile_counts(self, shape):
+        """Summing over phases must reproduce the unphased per-tile counts."""
+        spec, plan, workload = self._workload_and_plan(shape)
+        phased = activation_phase_nonzeros(
+            workload.activations, plan, spec.stride, spec.padding
+        )
+        assert np.array_equal(
+            phased.sum(axis=2),
+            activation_tile_nonzeros(workload.activations, plan),
+        )
+
+
+class TestConflictEstimateEquivalence:
+    @pytest.mark.parametrize("products", [1, 4, 16, 33])
+    @pytest.mark.parametrize("banks", [2, 4, 16, 64])
+    @pytest.mark.parametrize("queue_depth", [1, 2, 4])
+    def test_monte_carlo_matches_scalar_loop(self, products, banks, queue_depth):
+        assert expected_conflict_cycles(
+            products, banks, queue_depth=queue_depth
+        ) == scalar_conflict_cycles(products, banks, queue_depth=queue_depth)
+
+    def test_paper_provisioning_has_no_stalls(self):
+        assert expected_conflict_cycles(16, 32) == 0.0
+
+    def test_zero_products(self):
+        assert expected_conflict_cycles(0, 32) == 0.0

@@ -17,7 +17,7 @@ from repro.nn.reference import conv2d_layer, relu
 from repro.scnn.config import SCNN_CONFIG, scnn_with_pe_count
 from repro.scnn.functional import run_functional_layer
 
-from conftest import make_workload
+from _helpers import make_workload
 
 
 def assert_layer_matches_reference(spec, weight_density=0.4, activation_density=0.5,

@@ -16,7 +16,7 @@ from repro.nn.quantization import (
     quantize_workload,
 )
 
-from conftest import make_workload
+from _helpers import make_workload
 
 
 class TestFixedPointFormat:

@@ -12,7 +12,7 @@ from repro.scnn.simulator import (
     simulate_network,
 )
 
-from conftest import make_workload
+from _helpers import make_workload
 
 
 @pytest.fixture(scope="module")

@@ -12,7 +12,7 @@ from repro.timeloop.model import (
     estimate_scnn_layer,
 )
 
-from conftest import make_workload
+from _helpers import make_workload
 
 
 @pytest.fixture
