@@ -1,0 +1,86 @@
+"""Simulation-as-a-service: submit paper experiments through the client SDK.
+
+This example boots the service **in-process** on an ephemeral port (so it
+runs standalone, no second terminal needed), then drives it exactly the way
+a remote client would — over HTTP, through
+:class:`repro.service.ServiceClient`:
+
+* submit a **Figure 8 regeneration** (AlexNet speedup over DCNN) and print
+  the per-layer speedups from the returned JSON payload;
+* submit a **DSE sweep** and print the Pareto frontier;
+* submit the Figure 8 job *again* and show, via ``GET /stats``, that the
+  repeat never recomputed — it was served from the engine's
+  content-addressed cache.
+
+Against a real deployment the only change is the URL::
+
+    # terminal 1                          # terminal 2
+    python -m repro serve --port 8000     client = ServiceClient("http://127.0.0.1:8000")
+
+Run with::
+
+    python examples/service_client.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.service import ServiceClient, create_server
+
+
+def main() -> None:
+    with create_server(port=0, num_workers=2) as server:
+        client = ServiceClient(server.url)
+        print(f"service up at {server.url}: {client.health()}")
+        names = ", ".join(entry["name"] for entry in client.scenarios())
+        print(f"scenario catalogue: {names}\n")
+
+        # --- Figure 8 regeneration, over the wire ------------------------------
+        payload = client.run(
+            "fig8", {"networks": ["alexnet"], "seed": 0}, timeout=300
+        )
+        report = payload["reports"]["AlexNet"]
+        rows = [
+            (row["label"], f"{row['scnn']:.2f}x", f"{row['oracle']:.2f}x")
+            for row in report["rows"]
+        ]
+        print(format_table(
+            ["Layer", "SCNN", "SCNN (oracle)"], rows,
+            title="Figure 8 via the service: AlexNet speedup over DCNN",
+        ))
+        print(
+            f"Network speedup: {report['network_speedup']:.2f}x "
+            f"(paper: {report['paper_speedup']:.2f}x)\n"
+        )
+
+        # --- DSE sweep, over the wire ------------------------------------------
+        payload = client.run("dse_sweep", {"network": "alexnet"}, timeout=300)
+        frontier = set(payload["pareto_frontier"])
+        rows = [
+            (
+                point["name"],
+                f"{point['cycles']:,.0f}",
+                f"{point['energy']:.3g}",
+                f"{point['area_mm2']:.1f}",
+                "yes" if point["name"] in frontier else "",
+            )
+            for point in payload["points"]
+        ]
+        print(format_table(
+            ["Configuration", "Cycles", "Energy (pJ)", "Area (mm^2)", "Pareto"],
+            rows,
+            title="DSE sweep via the service: AlexNet candidates",
+        ))
+
+        # --- repeat submission: served from the shared cache -------------------
+        client.run("fig8", {"networks": ["alexnet"], "seed": 0}, timeout=300)
+        stats = client.stats()
+        engine = stats["engine"]
+        print(
+            f"\nAfter resubmitting fig8: engine cache hit-rate "
+            f"{engine['hit_rate']:.0%} ({engine['hits']} hits), "
+            f"{stats['workers']['jobs_completed']} jobs completed, "
+            f"queue depth {stats['queue']['depth']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

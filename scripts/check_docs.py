@@ -22,11 +22,27 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 
+# Documents that must exist: removing (or renaming) one is a doc break even
+# when no link points at it yet.
+REQUIRED_DOCUMENTS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/service.md",
+)
+
 
 def documents() -> list[Path]:
     found = [REPO_ROOT / "README.md"]
     found.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
     return [path for path in found if path.exists()]
+
+
+def missing_required() -> list[str]:
+    return [
+        relative
+        for relative in REQUIRED_DOCUMENTS
+        if not (REPO_ROOT / relative).exists()
+    ]
 
 
 def broken_links(document: Path) -> list[str]:
@@ -48,6 +64,12 @@ def main() -> int:
     docs = documents()
     if not docs:
         print("no documentation files found", file=sys.stderr)
+        return 1
+    missing = missing_required()
+    if missing:
+        print("missing required documents:", file=sys.stderr)
+        for relative in missing:
+            print(f"  {relative}", file=sys.stderr)
         return 1
     failures = [link for document in docs for link in broken_links(document)]
     if failures:

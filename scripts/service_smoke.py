@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Service smoke test: boot ``repro serve``, submit a scenario, check stats.
+
+What CI runs to prove the service works as a real process, not just
+in-process under pytest:
+
+1. boot ``python -m repro serve --port 0`` as a subprocess and read the
+   bound ephemeral port from its "listening on" line (no probe-then-bind
+   race on shared runners);
+2. poll ``GET /healthz`` until the service answers (bounded wait);
+3. submit one ``network`` scenario through :class:`ServiceClient`, wait,
+   and verify the result JSON **round-trips** (parse → dump → parse is
+   identical) and carries the expected fields;
+4. resubmit the same scenario and require a nonzero engine cache hit-rate
+   from ``GET /stats``;
+5. shut the server down and fail loudly on any leftover error.
+
+Exit status 0 on success; 1 with a diagnostic (and the server's output) on
+any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+
+BOOT_TIMEOUT_S = 30.0
+JOB_TIMEOUT_S = 300.0
+
+
+def read_server_url(process: subprocess.Popen) -> str:
+    """The base URL from the server's ``listening on http://...`` line."""
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early with code {process.returncode}"
+                )
+            time.sleep(0.05)
+            continue
+        match = re.search(r"listening on (http://\S+)", line)
+        if match:
+            return match.group(1)
+    raise RuntimeError(f"no 'listening on' line after {BOOT_TIMEOUT_S:.0f}s")
+
+
+def wait_for_health(client: ServiceClient, process: subprocess.Popen) -> None:
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(f"server exited early with code {process.returncode}")
+        try:
+            health = client.health()
+        except ServiceError:
+            time.sleep(0.1)
+            continue
+        if health.get("status") == "ok":
+            return
+    raise RuntimeError(f"/healthz not answering after {BOOT_TIMEOUT_S:.0f}s")
+
+
+def main() -> int:
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = (
+        f"{REPO_ROOT / 'src'}{os.pathsep}{environment.get('PYTHONPATH', '')}"
+    ).rstrip(os.pathsep)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--workers", "2"],
+        cwd=REPO_ROOT,
+        env=environment,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        url = read_server_url(process)
+        client = ServiceClient(url)
+        wait_for_health(client, process)
+        print(f"server healthy at {url}")
+
+        scenarios = {entry["name"] for entry in client.scenarios()}
+        assert "network" in scenarios, f"catalogue missing 'network': {scenarios}"
+
+        payload = client.run(
+            "network", {"network": "alexnet", "seed": 0}, timeout=JOB_TIMEOUT_S
+        )
+        assert payload["network"] == "AlexNet", payload.get("network")
+        assert payload["network_speedup"] > 1.0
+        assert len(payload["layers"]) == 5  # AlexNet's five conv layers
+
+        # The result JSON must survive a full round-trip unchanged.
+        first = json.dumps(payload, sort_keys=True)
+        second = json.dumps(json.loads(first), sort_keys=True)
+        assert first == second, "result JSON does not round-trip"
+        print(f"network scenario done: speedup {payload['network_speedup']:.2f}x, "
+              f"result round-trips ({len(first)} bytes)")
+
+        client.run("network", {"network": "alexnet", "seed": 0}, timeout=JOB_TIMEOUT_S)
+        stats = client.stats()
+        hits = stats["engine"]["hits"]
+        assert hits > 0, f"expected warm-cache hits on resubmission, stats: {stats}"
+        print(f"resubmission served warm: {hits} cache hit(s), "
+              f"hit-rate {stats['engine']['hit_rate']:.0%}")
+        print("service smoke test passed")
+        return 0
+    except Exception as error:  # noqa: BLE001 - report and fail the job
+        print(f"service smoke test FAILED: {error}", file=sys.stderr)
+        return 1
+    finally:
+        process.terminate()
+        try:
+            output, _ = process.communicate(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            output, _ = process.communicate()
+        if output:
+            print("--- server output ---")
+            print(output.rstrip())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,11 @@
-"""``python -m repro`` — regenerate the paper's tables and figures."""
+"""``python -m repro`` — regenerate the paper's tables and figures.
+
+Also the front door to the simulation service: ``python -m repro serve``
+boots the HTTP service (one warm engine, shared result cache) and
+``python -m repro submit SCENARIO`` sends it work.  See
+:mod:`repro.experiments.cli` for the experiment drivers and
+:mod:`repro.service.cli` for the service subcommands.
+"""
 
 import sys
 

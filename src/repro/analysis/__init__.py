@@ -1,4 +1,5 @@
-"""Analysis helpers: network characteristics, density statistics, reporting."""
+"""Analysis helpers: network characteristics, density statistics, reporting,
+and JSON serialization of simulation results for transport."""
 
 from repro.analysis.aggregate import geometric_mean, weighted_mean
 from repro.analysis.metrics import (
@@ -8,14 +9,28 @@ from repro.analysis.metrics import (
     network_characteristics,
 )
 from repro.analysis.reporting import format_table, format_value
+from repro.analysis.serialization import (
+    design_point_payload,
+    design_points_payload,
+    engine_run_payload,
+    layer_payload,
+    simulation_payload,
+    to_jsonable,
+)
 
 __all__ = [
     "DensityRow",
     "NetworkCharacteristics",
     "density_table",
+    "design_point_payload",
+    "design_points_payload",
+    "engine_run_payload",
     "format_table",
     "format_value",
     "geometric_mean",
+    "layer_payload",
     "network_characteristics",
+    "simulation_payload",
+    "to_jsonable",
     "weighted_mean",
 ]

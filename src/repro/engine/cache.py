@@ -17,6 +17,12 @@ that document addresses a pickle file under the cache root, so
 
 The cache is safe for concurrent writers: entries are written to a unique
 temporary file and atomically renamed into place.
+
+An optional ``max_entries`` bound turns the store into an LRU cache: every
+hit touches the entry's mtime, and a put that pushes the store over the
+bound evicts the least-recently-used entries.  Long-lived processes — the
+simulation service foremost — can therefore leave the cache on without the
+spool growing without bound.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
@@ -111,12 +118,32 @@ class ResultCache:
     keeps directories small).  Unreadable entries are treated as misses and
     deleted, so a truncated write or a pickle from an incompatible code
     revision degrades to recomputation, never to an error.
+
+    ``max_entries`` (optional) bounds the store: hits refresh an entry's
+    mtime and a put beyond the bound evicts least-recently-used entries,
+    counted in ``evictions``.  The entry count is tracked incrementally
+    (one full scan at construction), and eviction clears 10% headroom
+    below the bound, so the full-tree scan amortises over many puts
+    instead of running on every one.
     """
 
-    def __init__(self, root: Path | str) -> None:
+    def __init__(self, root: Path | str, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
         self.root = Path(root).expanduser()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Guards the counters, the entry count and eviction — never the
+        # get/put payload I/O itself, which is already safe concurrently
+        # (reads of complete files, writes via tempfile + atomic rename).
+        self._lock = threading.Lock()
+        # Approximate when other processes write the same root concurrently;
+        # every eviction scan resets it to the true count.
+        self._approx_entries = (
+            sum(1 for _ in self._entries()) if max_entries is not None else 0
+        )
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -127,18 +154,28 @@ class ResultCache:
             with path.open("rb") as handle:
                 value = pickle.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         except Exception:
             path.unlink(missing_ok=True)
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
+        if self.max_entries is not None:
+            # Touch the entry so LRU eviction sees it as recently used.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         return value
 
     def put(self, key: str, value: Any) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        is_new = self.max_entries is not None and not path.exists()
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -147,6 +184,47 @@ class ResultCache:
         except BaseException:
             Path(tmp_name).unlink(missing_ok=True)
             raise
+        if self.max_entries is not None:
+            with self._lock:
+                if is_new:
+                    self._approx_entries += 1
+                over = self._approx_entries > self.max_entries
+            if over:
+                self._evict(keep=path)
+
+    def _evict(self, keep: Optional[Path] = None) -> None:
+        """Delete LRU entries down to the bound minus 10% headroom.
+
+        The headroom means the next ``max_entries // 10`` puts proceed
+        without rescanning the tree — the scan cost amortises instead of
+        recurring on every put at capacity.  One evictor runs at a time;
+        the engine's hot paths never wait on it.
+        """
+        with self._lock:
+            self._do_evict(keep)
+
+    def _do_evict(self, keep: Optional[Path]) -> None:
+        entries = []
+        for entry in self._entries():
+            try:
+                entries.append((entry.stat().st_mtime, entry))
+            except OSError:  # concurrently evicted by another writer
+                continue
+        target = max(1, (self.max_entries or 0) - (self.max_entries or 0) // 10)
+        excess = len(entries) - target
+        remaining = len(entries)
+        if excess > 0:
+            entries.sort()
+            for _, entry in entries:
+                if excess <= 0:
+                    break
+                if keep is not None and entry == keep:
+                    continue
+                entry.unlink(missing_ok=True)
+                self.evictions += 1
+                remaining -= 1
+                excess -= 1
+        self._approx_entries = remaining
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -165,4 +243,6 @@ class ResultCache:
         for path in list(self._entries()):
             path.unlink(missing_ok=True)
             removed += 1
+        with self._lock:
+            self._approx_entries = 0
         return removed

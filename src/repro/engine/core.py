@@ -22,6 +22,7 @@ nor the cache ever ships multi-megabyte activation tensors.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -116,7 +117,11 @@ class EngineRun:
         for j, config in enumerate(self.configs):
             if config.name == config_name:
                 return [row[j] for row in self.results]
-        raise KeyError(f"no evaluated configuration named {config_name!r}")
+        known = ", ".join(repr(config.name) for config in self.configs) or "(none)"
+        raise KeyError(
+            f"no evaluated configuration named {config_name!r}; "
+            f"this run evaluated: {known}"
+        )
 
     def total_cycles(self, config_name: str) -> int:
         return sum(result.cycles for result in self.column(config_name))
@@ -125,6 +130,14 @@ class EngineRun:
 class SimulationEngine:
     """Cached, optionally parallel front end to every simulation model.
 
+    The engine is safe to share between threads: the simulation models are
+    pure functions, and the memo table, counters and disk cache are guarded
+    by one lock.  That is the surface the simulation service
+    (:mod:`repro.service`) multiplexes concurrent jobs onto — many worker
+    threads, one warm engine, one shared cache.  (Concurrent identical
+    requests may both compute before one wins the store; both results are
+    identical, so the race is benign.)
+
     Args:
         cache_dir: on-disk cache root.  ``None`` (default) reads the
             ``REPRO_CACHE_DIR`` environment variable; ``False`` disables the
@@ -132,13 +145,26 @@ class SimulationEngine:
         parallel: default process-pool size for all ``run*`` methods
             (``None``/``0``/``1`` = serial, ``-1`` = one worker per CPU).
             Each call can override it.
+        cache_max_entries: optional bound on the on-disk cache; beyond it
+            the least-recently-used entries are evicted.
+        memory_max_entries: optional bound on the in-memory memo table,
+            also LRU.  Long-lived processes serving requests with
+            caller-controlled inputs (the service foremost) should set
+            this — every distinct fingerprint otherwise pins its result
+            in memory for the process lifetime.
     """
 
     def __init__(
         self,
         cache_dir: Union[None, bool, str, Path] = None,
         parallel: Optional[int] = None,
+        cache_max_entries: Optional[int] = None,
+        memory_max_entries: Optional[int] = None,
     ) -> None:
+        if memory_max_entries is not None and memory_max_entries < 1:
+            raise ValueError(
+                "memory_max_entries must be positive (or None for unbounded)"
+            )
         if cache_dir is None:
             resolved = default_cache_dir()
         elif cache_dir is False:
@@ -146,42 +172,100 @@ class SimulationEngine:
         else:
             resolved = Path(cache_dir)
         self.disk_cache: Optional[ResultCache] = (
-            ResultCache(resolved) if resolved is not None else None
+            ResultCache(resolved, max_entries=cache_max_entries)
+            if resolved is not None
+            else None
         )
         self.parallel = parallel
+        self.memory_max_entries = memory_max_entries
+        # Python dicts preserve insertion order; _lookup/_store reinsert on
+        # use, which makes iteration order the LRU order.
         self._memory: Dict[str, object] = {}
+        self._lock = threading.Lock()
         self.memory_hits = 0
+        self.memory_misses = 0
+        self.memory_evictions = 0
 
     # -- cache plumbing ---------------------------------------------------------
 
     def _lookup(self, key: str):
-        value = self._memory.get(key)
-        if value is not None:
-            self.memory_hits += 1
-            return value
+        # The engine lock guards only the memo table and counters; disk I/O
+        # (multi-megabyte pickle reads, LRU eviction scans) happens outside
+        # it so one worker's cache traffic never stalls the others.
+        # ResultCache is itself safe for concurrent readers and writers.
+        with self._lock:
+            value = self._memory.get(key)
+            if value is not None:
+                self.memory_hits += 1
+                if self.memory_max_entries is not None:
+                    # Reinsert so the hit entry becomes most recently used.
+                    del self._memory[key]
+                    self._memory[key] = value
+                return value
         if self.disk_cache is not None:
             value = self.disk_cache.get(key)
             if value is not None:
-                self._memory[key] = value
-        return value
+                with self._lock:
+                    self._remember(key, value)
+                return value
+        with self._lock:
+            self.memory_misses += 1
+        return None
+
+    def _remember(self, key: str, value) -> None:
+        """Insert into the memo table, evicting LRU entries past the bound.
+
+        Caller holds ``self._lock``.
+        """
+        self._memory.pop(key, None)
+        self._memory[key] = value
+        if self.memory_max_entries is not None:
+            while len(self._memory) > self.memory_max_entries:
+                del self._memory[next(iter(self._memory))]
+                self.memory_evictions += 1
 
     def _store(self, key: str, value) -> None:
-        self._memory[key] = value
+        with self._lock:
+            self._remember(key, value)
         if self.disk_cache is not None:
             self.disk_cache.put(key, value)
 
     def clear_cache(self) -> None:
         """Drop the in-memory memo table and every on-disk entry."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if self.disk_cache is not None:
             self.disk_cache.clear()
 
-    @property
-    def stats(self) -> Dict[str, int]:
-        counters = {"memory_hits": self.memory_hits, "memory_entries": len(self._memory)}
-        if self.disk_cache is not None:
-            counters["disk_hits"] = self.disk_cache.hits
-            counters["disk_misses"] = self.disk_cache.misses
+    def stats(self) -> Dict[str, object]:
+        """Cache counters and the combined hit rate, as one JSON-able dict.
+
+        A lookup counts as a ``hit`` when either tier answers (a disk hit
+        that populates the memo table is one hit, not two) and as a ``miss``
+        only when both tiers miss; ``hit_rate`` is ``hits / (hits + misses)``
+        or 0.0 before the first lookup.  The service's ``/stats`` endpoint
+        reports this dict verbatim.
+        """
+        with self._lock:
+            counters: Dict[str, object] = {
+                "memory_hits": self.memory_hits,
+                "memory_misses": self.memory_misses,
+                "memory_entries": len(self._memory),
+                "memory_evictions": self.memory_evictions,
+                "memory_max_entries": self.memory_max_entries,
+            }
+            hits = self.memory_hits
+            misses = self.memory_misses
+            if self.disk_cache is not None:
+                counters["disk_hits"] = self.disk_cache.hits
+                counters["disk_misses"] = self.disk_cache.misses
+                counters["disk_evictions"] = self.disk_cache.evictions
+                counters["disk_max_entries"] = self.disk_cache.max_entries
+                hits += self.disk_cache.hits
+            counters["hits"] = hits
+            counters["misses"] = misses
+            lookups = hits + misses
+            counters["hit_rate"] = hits / lookups if lookups else 0.0
         return counters
 
     def _workers(self, parallel: Optional[int]) -> Optional[int]:

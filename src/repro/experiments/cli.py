@@ -10,6 +10,11 @@ shards independent layer simulations across N worker processes, and
 on-disk cache so re-running an experiment with unchanged inputs is instant
 (``REPRO_CACHE_DIR`` sets the same root environment-wide; ``--no-cache``
 overrides both).
+
+Two subcommands route to the simulation service (:mod:`repro.service`)
+instead of running experiments in-process: ``repro serve`` boots the HTTP
+service on one warm engine, and ``repro submit SCENARIO`` sends a scenario
+to a running service and prints the result JSON.
 """
 
 from __future__ import annotations
@@ -50,10 +55,18 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+# Subcommands dispatched to the service CLI before experiment parsing, so
+# `repro serve --port 8001` never collides with experiment ids.
+SERVICE_COMMANDS = ("serve", "submit")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the SCNN paper's tables and figures.",
+        epilog="Service mode: 'repro serve' boots the HTTP simulation "
+        "service, 'repro submit SCENARIO' sends it work "
+        "(each accepts --help).",
     )
     parser.add_argument(
         "experiments",
@@ -118,6 +131,12 @@ def run_experiments(names: Sequence[str]) -> List[str]:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SERVICE_COMMANDS:
+        from repro.service.cli import serve_main, submit_main
+
+        handler = serve_main if argv[0] == "serve" else submit_main
+        return handler(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:

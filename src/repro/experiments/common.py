@@ -12,9 +12,9 @@ to the content-addressed on-disk cache when ``REPRO_CACHE_DIR`` (or the CLI
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
+from typing import Optional, Tuple
 
-from repro.engine import default_engine
+from repro.engine import SimulationEngine, default_engine
 from repro.nn.networks import Network, get_network
 from repro.scnn.simulator import NetworkSimulation
 
@@ -34,12 +34,18 @@ def cached_network(name: str) -> Network:
     return get_network(name)
 
 
-def cached_simulation(name: str, seed: int = 0) -> NetworkSimulation:
+def cached_simulation(
+    name: str, seed: int = 0, engine: Optional[SimulationEngine] = None
+) -> NetworkSimulation:
     """Full network simulation (workloads + SCNN + DCNN + oracle + energy).
 
     Served by the shared simulation engine: the first request computes (in
     parallel, if the engine is configured for it), repeats hit the engine's
     in-memory memo table, and cross-process repeats hit the on-disk cache
-    when one is configured.
+    when one is configured.  ``engine`` overrides the process-wide default —
+    the simulation service passes its own warm engine here so figure
+    regenerations share the service cache.
     """
-    return default_engine().run_network(cached_network(name), seed=seed)
+    if engine is None:
+        engine = default_engine()
+    return engine.run_network(cached_network(name), seed=seed)

@@ -38,10 +38,17 @@ class EnergyReport:
     network_scnn: float
 
 
-def run(networks: tuple = EVALUATED_NETWORKS, seed: int = 0) -> Dict[str, EnergyReport]:
+def run(
+    networks: tuple = EVALUATED_NETWORKS, seed: int = 0, engine=None
+) -> Dict[str, EnergyReport]:
+    """Per-module and network energy ratios for every evaluated network.
+
+    ``engine`` (optional :class:`repro.engine.SimulationEngine`) overrides
+    the shared default — the service's ``fig10`` scenario passes its own.
+    """
     reports: Dict[str, EnergyReport] = {}
     for name in networks:
-        simulation = cached_simulation(name, seed)
+        simulation = cached_simulation(name, seed, engine=engine)
         rows = []
         for module in simulation.modules():
             members = [layer for layer in simulation.layers if layer.module == module]

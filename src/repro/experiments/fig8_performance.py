@@ -60,11 +60,17 @@ def _per_module_rows(simulation: NetworkSimulation) -> List[SpeedupRow]:
     return rows
 
 
-def run(networks: tuple = EVALUATED_NETWORKS, seed: int = 0) -> Dict[str, NetworkSpeedupReport]:
-    """Per-layer/module and network speedups for every evaluated network."""
+def run(
+    networks: tuple = EVALUATED_NETWORKS, seed: int = 0, engine=None
+) -> Dict[str, NetworkSpeedupReport]:
+    """Per-layer/module and network speedups for every evaluated network.
+
+    ``engine`` (optional :class:`repro.engine.SimulationEngine`) overrides
+    the shared default — the service's ``fig8`` scenario passes its own.
+    """
     reports: Dict[str, NetworkSpeedupReport] = {}
     for name in networks:
-        simulation = cached_simulation(name, seed)
+        simulation = cached_simulation(name, seed, engine=engine)
         rows = _per_module_rows(simulation)
         rows.append(
             SpeedupRow(

@@ -40,6 +40,23 @@ def run(config: AcceleratorConfig = SCNN_CONFIG) -> Dict[str, Tuple[object, obje
     }
 
 
+def payload(config: AcceleratorConfig = SCNN_CONFIG) -> Dict[str, object]:
+    """Table II as a JSON-serializable payload (the service's ``table2``).
+
+    ``rows`` maps each parameter to ``{"modelled": ..., "paper": ...}``;
+    ``matches`` is true when every modelled value equals the paper's.
+    """
+    rows = {
+        name: {"modelled": modelled, "paper": paper}
+        for name, (modelled, paper) in run(config).items()
+    }
+    return {
+        "config": config.name,
+        "rows": rows,
+        "matches": all(cell["modelled"] == cell["paper"] for cell in rows.values()),
+    }
+
+
 def main() -> str:
     rows: List[Tuple[object, object, object]] = [
         (name, modelled, paper) for name, (modelled, paper) in run().items()

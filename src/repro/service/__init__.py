@@ -1,0 +1,85 @@
+"""Simulation-as-a-service: async job queue, scenario registry, HTTP API.
+
+This subsystem turns the batched :class:`~repro.engine.SimulationEngine`
+into a long-lived service: many concurrent simulation and DSE requests
+multiplex over **one warm engine and one shared content-addressed cache**,
+instead of each paying engine construction and cold caches in its own
+process.  It is standard-library only — ``http.server``, ``json``,
+``threading`` — so ``repro serve`` boots with zero new runtime
+dependencies.
+
+The pieces (each its own module, composable without the HTTP layer):
+
+* :mod:`repro.service.jobs` — :class:`JobQueue`: thread-safe priority
+  queue with job states (queued → running → done/failed, plus queued-job
+  cancellation), JSON-serializable records, and an optional on-disk
+  journal that survives restarts.
+* :mod:`repro.service.scenarios` — :class:`ScenarioRegistry`: named,
+  parameter-validated request shapes covering the repo's catalogue (single
+  layer, full network, DSE sweep, paper-figure regeneration).
+* :mod:`repro.service.worker` — :class:`WorkerPool`: threads draining the
+  queue into the shared engine.
+* :mod:`repro.service.server` — :class:`SimulationService` (the
+  transport-free composition root) and :class:`ServiceServer` /
+  :func:`create_server` (the stdlib HTTP binding).
+* :mod:`repro.service.client` — :class:`ServiceClient`: the
+  ``submit``/``wait``/``result`` SDK used by tests, examples and
+  ``repro submit``.
+
+Quickstart (in one process; see ``examples/service_client.py``)::
+
+    from repro.service import ServiceClient, create_server
+
+    with create_server(port=0, num_workers=2) as server:
+        client = ServiceClient(server.url)
+        payload = client.run("network", {"network": "alexnet"})
+        print(payload["network_speedup"])
+
+See ``docs/service.md`` for the request lifecycle and API reference.
+"""
+
+from repro.service.client import JobFailedError, ServiceClient, ServiceError
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+    UnknownJobError,
+)
+from repro.service.scenarios import (
+    Parameter,
+    Scenario,
+    ScenarioError,
+    ScenarioRegistry,
+    default_registry,
+)
+from repro.service.server import ServiceServer, SimulationService, create_server
+from repro.service.worker import WorkerPool
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "Job",
+    "JobFailedError",
+    "JobQueue",
+    "Parameter",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioRegistry",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SimulationService",
+    "UnknownJobError",
+    "WorkerPool",
+    "create_server",
+    "default_registry",
+]

@@ -1,0 +1,177 @@
+"""``repro serve`` and ``repro submit`` — the service's command line.
+
+``repro serve`` boots the HTTP service in the foreground on one warm
+engine; ``repro submit`` is a thin :class:`~repro.service.client.ServiceClient`
+wrapper that submits a scenario, waits, and prints the result JSON::
+
+    repro serve --port 8000 --workers 4 --cache-dir ~/.cache/repro-scnn
+    repro submit network --param network=alexnet
+    repro submit fig8 --param networks=alexnet,googlenet --url http://host:8000
+
+``--param key=value`` values are parsed as JSON when possible (``seed=3``
+is the integer 3, ``include_baseline=false`` a boolean) and fall back to
+plain strings (``network=alexnet``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, Optional, Sequence
+
+from repro.service.client import JobFailedError, ServiceClient, ServiceError
+
+DEFAULT_PORT = 8000
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve simulations over HTTP from one warm engine.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker threads draining the job queue (default: 2)",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="engine process-pool size per simulation (-1 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed result cache root "
+        "(default: $REPRO_CACHE_DIR if set, else no on-disk cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache even if $REPRO_CACHE_DIR is set",
+    )
+    parser.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="bound the on-disk cache to N entries with LRU eviction",
+    )
+    parser.add_argument(
+        "--memory-max-entries", type=int, default=512, metavar="N",
+        help="bound the engine's in-memory memo table to N entries, LRU "
+        "(0 = unbounded; default: 512 — a long-lived service must not "
+        "grow per distinct request)",
+    )
+    parser.add_argument(
+        "--journal-dir", default=None, metavar="PATH",
+        help="persist job records here; queued/running jobs resume on restart",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.engine import SimulationEngine
+    from repro.service.server import create_server
+
+    args = build_serve_parser().parse_args(argv)
+    cache_dir = False if args.no_cache else args.cache_dir
+    engine = SimulationEngine(
+        cache_dir=cache_dir,
+        parallel=args.parallel,
+        cache_max_entries=args.cache_max_entries,
+        memory_max_entries=args.memory_max_entries or None,
+    )
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        engine=engine,
+        num_workers=args.workers,
+        journal_dir=args.journal_dir,
+        verbose=args.verbose,
+    )
+    print(
+        f"repro service listening on {server.url} "
+        f"({args.workers} workers; scenarios: "
+        f"{', '.join(server.service.registry.names())})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit one scenario to a running repro service.",
+    )
+    parser.add_argument("scenario", help="scenario name (see GET /scenarios)")
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="scenario parameter (repeatable); values parse as JSON, "
+        "falling back to plain strings",
+    )
+    parser.add_argument(
+        "--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+        help=f"service base URL (default: http://127.0.0.1:{DEFAULT_PORT})",
+    )
+    parser.add_argument("--priority", type=int, default=0)
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for the result (default: 600)",
+    )
+    parser.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id immediately instead of waiting for the result",
+    )
+    return parser
+
+
+def parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
+    """``KEY=VALUE`` pairs to a params dict, JSON-decoding each value."""
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ValueError(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def submit_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_submit_parser().parse_args(argv)
+    try:
+        params = parse_params(args.param)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        job_id = client.submit(args.scenario, params, priority=args.priority)
+        if args.no_wait:
+            print(job_id)
+            return 0
+        client.wait(job_id, timeout=args.timeout)
+        print(json.dumps(client.result(job_id), indent=2, sort_keys=True))
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: not an error, but
+        # stdout must be detached before the interpreter's exit flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except JobFailedError as error:
+        print(f"job failed ({error.state}): {error}", file=sys.stderr)
+        if error.detail:
+            print(error.detail, file=sys.stderr)
+        return 1
+    except (ServiceError, TimeoutError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,166 @@
+"""The client SDK: submit scenarios and collect results over HTTP.
+
+:class:`ServiceClient` is a thin, dependency-free (``urllib``) wrapper over
+the service API — the usual flow is three calls::
+
+    client = ServiceClient("http://127.0.0.1:8000")
+    job_id = client.submit("network", {"network": "alexnet"})
+    payload = client.result(client.wait(job_id)["id"])
+
+or one: ``client.run("network", {"network": "alexnet"})``.  Failures keep
+their server-side detail: a job that raised inside a worker surfaces as
+:class:`JobFailedError` carrying the traceback text, and any non-2xx
+response raises :class:`ServiceError` with the server's message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+
+class ServiceError(RuntimeError):
+    """A request the service rejected (or could not be reached at all)."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class JobFailedError(ServiceError):
+    """The job reached a terminal state other than ``done``."""
+
+    def __init__(self, message: str, state: str, detail: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.state = state
+        self.detail = detail
+
+
+class ServiceClient:
+    """Talk to one simulation service instance.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8000`` (trailing slash optional).
+        timeout: socket timeout per request, in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        accept_statuses: tuple = (),
+    ) -> Dict[str, Any]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", errors="replace")
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                payload = {"error": raw or str(error)}
+            if error.code in accept_statuses:
+                return payload
+            raise ServiceError(
+                payload.get("error", str(error)), status=error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach {self.base_url}: {error.reason}") from None
+
+    # -- the API ----------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def scenarios(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/scenarios")["scenarios"]
+
+    def submit(
+        self,
+        scenario: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> str:
+        """Submit one scenario invocation; returns the job id."""
+        record = self._request(
+            "POST",
+            "/jobs",
+            body={"scenario": scenario, "params": params or {}, "priority": priority},
+        )
+        return record["id"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """The job's current record (state, timestamps, error)."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued job; returns the (possibly unchanged) record."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll_interval)
+
+    def result(self, job_id: str) -> Any:
+        """The result payload of a finished job.
+
+        Raises :class:`JobFailedError` when the job failed or was cancelled
+        and :class:`ServiceError` when it is not finished yet.
+        """
+        payload = self._request("GET", f"/results/{job_id}", accept_statuses=(410,))
+        if "result" in payload:
+            return payload["result"]
+        raise JobFailedError(
+            payload.get("error", f"job {job_id} did not finish"),
+            state=payload.get("state", "failed"),
+            detail=payload.get("detail"),
+        )
+
+    def run(
+        self,
+        scenario: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        timeout: float = 300.0,
+    ) -> Any:
+        """``submit`` + ``wait`` + ``result`` in one call."""
+        job_id = self.submit(scenario, params, priority=priority)
+        self.wait(job_id, timeout=timeout)
+        return self.result(job_id)

@@ -1,0 +1,342 @@
+"""The service's job queue: states, priorities, cancellation, persistence.
+
+A :class:`Job` is one submitted scenario invocation.  Its life cycle is
+
+    queued ──> running ──> done
+      │            └─────> failed
+      └──> cancelled
+
+Only queued jobs can be cancelled; a running job runs to completion (the
+simulation models have no preemption points, and a cancelled-mid-flight
+result would be wasted cache warmth anyway).
+
+:class:`JobQueue` is a thread-safe priority queue over those jobs: workers
+block in :meth:`JobQueue.claim` until a job is available, higher ``priority``
+values pop first, and ties pop in submission order so equal-priority
+traffic is FIFO.  Every job record — parameters, state, timestamps, result
+payload or error — is JSON-serializable, and an optional ``journal_dir``
+persists each record through every state transition, so a restarted service
+can :meth:`~JobQueue.load` its history and re-queue interrupted work.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import os
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+# States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class UnknownJobError(KeyError):
+    """Raised when a job id is not (or no longer) known to the queue."""
+
+
+@dataclass
+class Job:
+    """One submitted scenario invocation and everything recorded about it."""
+
+    id: str
+    scenario: str
+    params: Dict[str, Any]
+    priority: int = 0
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Any] = None
+    error: Optional[str] = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_record(self) -> Dict[str, Any]:
+        """The job as a JSON-serializable record (what the API returns)."""
+        return {
+            "id": self.id,
+            "scenario": self.scenario,
+            "params": self.params,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "result": self.result,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "Job":
+        known = {name for name in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in record.items() if key in known})
+
+
+class JobQueue:
+    """Thread-safe priority queue of :class:`Job` records.
+
+    Args:
+        journal_dir: optional directory where every job record is persisted
+            as ``<id>.json`` on each state transition.  :meth:`load` restores
+            a journal: terminal jobs keep their recorded state (results
+            included), while ``queued`` and ``running`` jobs — work the
+            previous process never finished — are re-queued.
+        max_history: how many *terminal* jobs (and their result payloads) to
+            retain; beyond it the oldest-finished are pruned from memory and
+            from the journal.  Bounds a long-lived service's footprint —
+            queued and running jobs are never pruned.  ``None`` disables
+            pruning.
+    """
+
+    DEFAULT_MAX_HISTORY = 1000
+
+    def __init__(
+        self,
+        journal_dir: Union[None, str, Path] = None,
+        max_history: Optional[int] = DEFAULT_MAX_HISTORY,
+    ) -> None:
+        if max_history is not None and max_history < 1:
+            raise ValueError("max_history must be positive (or None for unbounded)")
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._heap: List[tuple] = []  # (-priority, sequence, job_id)
+        self._sequence = itertools.count()
+        self.max_history = max_history
+        self.journal_errors = 0
+        self.journal_dir: Optional[Path] = (
+            Path(journal_dir).expanduser() if journal_dir is not None else None
+        )
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- persistence ------------------------------------------------------------
+
+    def _journal(self, job: Job) -> None:
+        """Write ``job``'s record to the journal (atomic rename), if enabled.
+
+        Journalling is best-effort durability: a write failure (disk full,
+        permissions lost) is counted in ``journal_errors`` and the queue
+        keeps serving from memory — it must never take a worker down or
+        leave a job stuck in ``running``.
+        """
+        if self.journal_dir is None:
+            return
+        path = self.journal_dir / f"{job.id}.json"
+        tmp_name = None
+        try:
+            fd, tmp_name = tempfile.mkstemp(dir=self.journal_dir, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(job.to_record(), handle)
+            os.replace(tmp_name, path)
+        except OSError:
+            if tmp_name is not None:
+                Path(tmp_name).unlink(missing_ok=True)
+            self.journal_errors += 1
+        except BaseException:
+            if tmp_name is not None:
+                Path(tmp_name).unlink(missing_ok=True)
+            raise
+
+    def _prune_history(self) -> None:
+        """Drop the oldest terminal jobs beyond ``max_history``.  Lock held."""
+        if self.max_history is None:
+            return
+        terminal = [job for job in self._jobs.values() if job.is_terminal]
+        excess = len(terminal) - self.max_history
+        if excess <= 0:
+            return
+        terminal.sort(key=lambda job: job.finished_at or job.submitted_at)
+        for job in terminal[:excess]:
+            del self._jobs[job.id]
+            if self.journal_dir is not None:
+                (self.journal_dir / f"{job.id}.json").unlink(missing_ok=True)
+
+    @classmethod
+    def load(
+        cls,
+        journal_dir: Union[str, Path],
+        max_history: Optional[int] = DEFAULT_MAX_HISTORY,
+    ) -> "JobQueue":
+        """Rebuild a queue from a journal directory.
+
+        Jobs that were ``queued`` or ``running`` when the previous process
+        stopped are re-queued (oldest submission first, priorities kept);
+        terminal jobs are restored as history.  Any unreadable or malformed
+        record — torn write, foreign file, older schema — degrades to a
+        lost job, never to a boot failure.
+        """
+        queue = cls(journal_dir=journal_dir, max_history=max_history)
+        records = []
+        for path in sorted(queue.journal_dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        records.sort(key=lambda record: record.get("submitted_at") or 0.0)
+        for record in records:
+            try:
+                job = Job.from_record(record)
+            except TypeError:  # record lacks required fields
+                continue
+            requeued = not job.is_terminal
+            if requeued:
+                job.state = QUEUED
+                job.started_at = None
+            with queue._lock:
+                queue._jobs[job.id] = job
+                if job.state == QUEUED:
+                    heapq.heappush(
+                        queue._heap,
+                        (-job.priority, next(queue._sequence), job.id),
+                    )
+            if requeued:
+                # Only re-queued jobs changed state; terminal records are
+                # already on disk byte-for-byte — rewriting the whole
+                # history on every boot would be a pointless write storm.
+                queue._journal(job)
+        with queue._lock:
+            queue._prune_history()
+        return queue
+
+    # -- submission and claiming ------------------------------------------------
+
+    def submit(
+        self,
+        scenario: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> Job:
+        """Enqueue a new job and return its (queued) record."""
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            scenario=scenario,
+            params=dict(params or {}),
+            priority=int(priority),
+        )
+        with self._available:
+            self._jobs[job.id] = job
+            heapq.heappush(self._heap, (-job.priority, next(self._sequence), job.id))
+            self._journal(job)
+            self._available.notify()
+        return job
+
+    def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the highest-priority queued job and mark it running.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``); returns
+        ``None`` on timeout.  Jobs cancelled while queued are skipped.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._available:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    # A job may have been cancelled while queued — and, once
+                    # terminal, even pruned from history — with its heap
+                    # entry left behind.  Stale entries are skipped, never
+                    # an error.
+                    job = self._jobs.get(job_id)
+                    if job is None or job.state != QUEUED:
+                        continue
+                    job.state = RUNNING
+                    job.started_at = time.time()
+                    self._journal(job)
+                    return job
+                if deadline is None:
+                    self._available.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._available.wait(remaining):
+                        return None
+
+    # -- state transitions ------------------------------------------------------
+
+    def _require(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
+
+    def mark_done(self, job_id: str, result: Any) -> Job:
+        with self._lock:
+            job = self._require(job_id)
+            # Publish the payload before the state: readers outside this
+            # lock (the HTTP handlers hold live Job references) must never
+            # observe state == done with a still-null result.
+            job.result = result
+            job.finished_at = time.time()
+            job.state = DONE
+            self._journal(job)
+            self._prune_history()
+        return job
+
+    def mark_failed(self, job_id: str, error: str) -> Job:
+        with self._lock:
+            job = self._require(job_id)
+            job.error = error
+            job.finished_at = time.time()
+            job.state = FAILED
+            self._journal(job)
+            self._prune_history()
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job; running/terminal jobs are left untouched.
+
+        Returns the job either way — callers inspect ``state`` to learn
+        whether the cancellation took effect.
+        """
+        with self._lock:
+            job = self._require(job_id)
+            if job.state == QUEUED:
+                job.finished_at = time.time()
+                job.state = CANCELLED
+                self._journal(job)
+                self._prune_history()
+        return job
+
+    # -- introspection ----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            return self._require(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every known job, newest submission first."""
+        with self._lock:
+            return sorted(
+                self._jobs.values(), key=lambda job: job.submitted_at, reverse=True
+            )
+
+    def depth(self) -> int:
+        """How many jobs are currently waiting to be claimed."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if job.state == QUEUED)
+
+    def counts(self) -> Dict[str, int]:
+        """Job count per state (every state present, zero or not)."""
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        return counts

@@ -1,0 +1,340 @@
+"""The scenario registry: named, validated, reusable request shapes.
+
+A *scenario* is a named unit of work a client can submit over the wire —
+"simulate this network", "re-run the Figure 8 study", "sweep the DSE
+candidates" — with a declared parameter schema.  The registry validates and
+normalises a request's parameters *before* the job is queued, so malformed
+requests fail at submission time with a clear message instead of inside a
+worker thread.
+
+Every scenario runner is a pure function of ``(engine, params)`` returning
+a JSON-serializable payload (built by :mod:`repro.analysis.serialization`),
+and every built-in scenario routes through the shared
+:class:`~repro.engine.SimulationEngine` — so repeated submissions of the
+same scenario are served from the engine's content-addressed cache.
+
+:func:`default_registry` registers the repo's catalogue: single-layer and
+full-network simulation, the DSE sweep, and the paper-figure regenerations
+(Figure 8, Figure 10, Table II) adapted from :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.serialization import (
+    design_points_payload,
+    engine_run_payload,
+    simulation_payload,
+    to_jsonable,
+)
+from repro.engine import SimulationEngine
+from repro.engine.workloads import WorkloadHandle
+from repro.nn.densities import network_sparsity
+from repro.nn.networks import available_networks, get_network
+from repro.scnn.config import SCNN_CONFIG
+from repro.timeloop.dse import default_candidates
+
+
+class ScenarioError(ValueError):
+    """A request names an unknown scenario or carries invalid parameters."""
+
+
+_REQUIRED = object()  # sentinel: parameter has no default, caller must supply
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One declared scenario parameter."""
+
+    name: str
+    type: str  # "int" | "float" | "bool" | "str" | "list[str]"
+    description: str = ""
+    default: Any = _REQUIRED
+    choices: Optional[Tuple[str, ...]] = None
+
+    @property
+    def required(self) -> bool:
+        return self.default is _REQUIRED
+
+    def describe(self) -> Dict[str, Any]:
+        info: Dict[str, Any] = {
+            "name": self.name,
+            "type": self.type,
+            "description": self.description,
+            "required": self.required,
+        }
+        if not self.required:
+            info["default"] = self.default
+        if self.choices is not None:
+            info["choices"] = list(self.choices)
+        return info
+
+    def coerce(self, value: Any) -> Any:
+        """Validate ``value`` against this parameter's type and choices."""
+        if self.type == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ScenarioError(f"parameter {self.name!r} must be an integer")
+        elif self.type == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ScenarioError(f"parameter {self.name!r} must be a number")
+            value = float(value)
+        elif self.type == "bool":
+            if not isinstance(value, bool):
+                raise ScenarioError(f"parameter {self.name!r} must be a boolean")
+        elif self.type == "str":
+            if not isinstance(value, str):
+                raise ScenarioError(f"parameter {self.name!r} must be a string")
+        elif self.type == "list[str]":
+            if isinstance(value, str):
+                # CLI convenience: "alexnet,googlenet" means a two-item list.
+                value = [part.strip() for part in value.split(",") if part.strip()]
+            if not isinstance(value, (list, tuple)) or not all(
+                isinstance(item, str) for item in value
+            ):
+                raise ScenarioError(
+                    f"parameter {self.name!r} must be a list of strings"
+                )
+            value = list(value)
+        else:  # pragma: no cover - registration-time programming error
+            raise ScenarioError(f"parameter {self.name!r} has unknown type {self.type!r}")
+        if self.choices is not None:
+            values = value if self.type == "list[str]" else [value]
+            for item in values:
+                if item not in self.choices:
+                    raise ScenarioError(
+                        f"parameter {self.name!r} must be one of "
+                        f"{', '.join(self.choices)}; got {item!r}"
+                    )
+        return value
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named request shape: parameter schema plus runner."""
+
+    name: str
+    description: str
+    runner: Callable[[SimulationEngine, Dict[str, Any]], Any]
+    parameters: Tuple[Parameter, ...] = ()
+
+    def validate(self, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """Normalised parameters: defaults applied, types/choices enforced."""
+        params = dict(params or {})
+        known = {parameter.name for parameter in self.parameters}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ScenarioError(
+                f"scenario {self.name!r} does not accept parameter(s) "
+                f"{', '.join(map(repr, unknown))}; known: "
+                f"{', '.join(sorted(known)) or '(none)'}"
+            )
+        normalised: Dict[str, Any] = {}
+        for parameter in self.parameters:
+            if parameter.name in params:
+                normalised[parameter.name] = parameter.coerce(params[parameter.name])
+            elif parameter.required:
+                raise ScenarioError(
+                    f"scenario {self.name!r} requires parameter {parameter.name!r}"
+                )
+            else:
+                normalised[parameter.name] = parameter.default
+        return normalised
+
+    def run(self, engine: SimulationEngine, params: Dict[str, Any]) -> Any:
+        return self.runner(engine, self.validate(params))
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "parameters": [parameter.describe() for parameter in self.parameters],
+        }
+
+
+class ScenarioRegistry:
+    """Name → :class:`Scenario` mapping with a JSON-able catalogue view."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario) -> Scenario:
+        if scenario.name in self._scenarios:
+            raise ValueError(f"scenario {scenario.name!r} is already registered")
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown scenario {name!r}; available: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._scenarios)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [self._scenarios[name].describe() for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+
+# -- built-in scenario runners --------------------------------------------------
+
+
+def _network_parameter(description: str) -> Parameter:
+    return Parameter(
+        "network",
+        "str",
+        description,
+        default="alexnet",
+        choices=tuple(available_networks()),
+    )
+
+
+def _run_single_layer(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
+    network = get_network(params["network"])
+    names = [spec.name for spec in network.layers]
+    try:
+        index = names.index(params["layer"])
+    except ValueError:
+        raise ScenarioError(
+            f"network {network.name!r} has no layer {params['layer']!r}; "
+            f"layers: {', '.join(names)}"
+        ) from None
+    spec = network.layers[index]
+    sparsity = network_sparsity(network)
+    handle = WorkloadHandle.build(
+        network.name, params["seed"], index, spec, sparsity[spec.name]
+    )
+    run = engine.run([handle], [SCNN_CONFIG])
+    payload = engine_run_payload(run)
+    payload["network"] = network.name
+    payload["layer"] = spec.name
+    return payload
+
+
+def _run_network(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
+    simulation = engine.run_network(params["network"], seed=params["seed"])
+    return simulation_payload(simulation)
+
+
+def _run_dse_sweep(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
+    candidates = list(default_candidates())
+    if params["include_baseline"]:
+        candidates.insert(0, SCNN_CONFIG)
+    points = engine.sweep(candidates, params["network"])
+    payload = design_points_payload(points)
+    payload["network"] = params["network"]
+    return payload
+
+
+def _run_fig8(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
+    from repro.experiments import fig8_performance
+
+    reports = fig8_performance.run(
+        networks=tuple(params["networks"]), seed=params["seed"], engine=engine
+    )
+    return {
+        "reports": {name: to_jsonable(report) for name, report in reports.items()},
+        "average_speedup": fig8_performance.average_speedup(reports),
+    }
+
+
+def _run_fig10(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
+    from repro.experiments import fig10_energy
+
+    reports = fig10_energy.run(
+        networks=tuple(params["networks"]), seed=params["seed"], engine=engine
+    )
+    return {
+        "reports": {name: to_jsonable(report) for name, report in reports.items()},
+        "average_improvements": fig10_energy.average_improvements(reports),
+    }
+
+
+def _run_table2(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
+    from repro.experiments import table2_design_params
+
+    return table2_design_params.payload()
+
+
+def default_registry() -> ScenarioRegistry:
+    """The repo's scenario catalogue, freshly constructed."""
+    seed = Parameter("seed", "int", "workload generation seed", default=0)
+    networks = Parameter(
+        "networks",
+        "list[str]",
+        "networks to evaluate",
+        default=list(available_networks()),
+        choices=tuple(available_networks()),
+    )
+    registry = ScenarioRegistry()
+    registry.register(
+        Scenario(
+            "layer",
+            "Cycle-model evaluation of one layer on the SCNN configuration.",
+            _run_single_layer,
+            (
+                _network_parameter("network the layer belongs to"),
+                Parameter("layer", "str", "layer name, e.g. conv1"),
+                seed,
+            ),
+        )
+    )
+    registry.register(
+        Scenario(
+            "network",
+            "Full network simulation (SCNN + DCNN + oracle + energy).",
+            _run_network,
+            (_network_parameter("catalogue network to simulate"), seed),
+        )
+    )
+    registry.register(
+        Scenario(
+            "dse_sweep",
+            "Design-space sweep over the paper's candidate configurations, "
+            "with the Pareto frontier.",
+            _run_dse_sweep,
+            (
+                _network_parameter("network the candidates are evaluated on"),
+                Parameter(
+                    "include_baseline",
+                    "bool",
+                    "include the paper's SCNN design point as candidate 0",
+                    default=True,
+                ),
+            ),
+        )
+    )
+    registry.register(
+        Scenario(
+            "fig8",
+            "Regenerate Figure 8: per-layer and network speedup over DCNN.",
+            _run_fig8,
+            (networks, seed),
+        )
+    )
+    registry.register(
+        Scenario(
+            "fig10",
+            "Regenerate Figure 10: energy relative to DCNN and DCNN-opt.",
+            _run_fig10,
+            (networks, seed),
+        )
+    )
+    registry.register(
+        Scenario(
+            "table2",
+            "Regenerate Table II: the SCNN design parameters vs the paper.",
+            _run_table2,
+        )
+    )
+    return registry

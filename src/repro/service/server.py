@@ -1,0 +1,345 @@
+"""The HTTP front end: simulation-as-a-service on the standard library.
+
+``ThreadingHTTPServer`` + ``json`` — no new runtime dependencies.  The API
+is deliberately small:
+
+==========================  ====================================================
+``POST /jobs``              submit ``{"scenario", "params", "priority"}``;
+                            parameters are validated *before* queueing (400 on
+                            an unknown scenario or bad parameters), so the
+                            queue only ever holds runnable jobs.  Returns 202
+                            with the queued job record.
+``GET /jobs``               every job record, newest first (results elided).
+``GET /jobs/<id>``          one job record: state, timestamps, error.
+``DELETE /jobs/<id>``       cancel a *queued* job (running jobs finish).
+``GET /results/<id>``       the result payload; 409 while the job is still
+                            queued/running, 410 if it failed or was cancelled.
+``GET /scenarios``          the scenario catalogue with parameter schemas.
+``GET /healthz``            liveness: 200 once the service accepts jobs.
+``GET /stats``              engine cache hit-rate, queue depth, worker
+                            utilization.
+==========================  ====================================================
+
+:class:`SimulationService` is the transport-free composition root (queue +
+registry + worker pool + engine) — the tests and the in-process example use
+it directly; :class:`ServiceServer` binds it to a socket.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.engine import SimulationEngine, default_engine
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    Job,
+    JobQueue,
+    UnknownJobError,
+)
+from repro.service.scenarios import ScenarioError, ScenarioRegistry, default_registry
+from repro.service.worker import WorkerPool
+
+
+def _public_record(job: Job) -> Dict[str, Any]:
+    """A job record with the (possibly large) result payload elided."""
+    record = job.to_record()
+    record["has_result"] = record.pop("result") is not None
+    return record
+
+
+class SimulationService:
+    """Queue + scenario registry + worker pool over one shared engine.
+
+    Everything the HTTP layer exposes is a method here, so the service can
+    also be driven in-process (tests, notebooks, the example script)
+    without a socket.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[SimulationEngine] = None,
+        registry: Optional[ScenarioRegistry] = None,
+        num_workers: int = 2,
+        journal_dir: Union[None, str, Path] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else default_engine()
+        self.registry = registry if registry is not None else default_registry()
+        self.queue = (
+            JobQueue.load(journal_dir) if journal_dir is not None else JobQueue()
+        )
+        self.workers = WorkerPool(
+            self.queue, self.registry, self.engine, num_workers=num_workers
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        self.workers.start()
+
+    def stop(self) -> None:
+        self.workers.stop()
+
+    # -- operations (the HTTP surface, transport-free) --------------------------
+
+    def submit(
+        self,
+        scenario: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> Job:
+        """Validate and enqueue one scenario invocation.
+
+        Raises :class:`ScenarioError` on an unknown scenario or invalid
+        parameters — nothing unrunnable ever reaches the queue.  The job is
+        stored with *normalised* parameters (defaults applied), so its
+        cache fingerprint is canonical.
+        """
+        normalised = self.registry.get(scenario).validate(params)
+        return self.queue.submit(scenario, normalised, priority=priority)
+
+    def job(self, job_id: str) -> Job:
+        return self.queue.get(job_id)
+
+    def cancel(self, job_id: str) -> Job:
+        return self.queue.cancel(job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine.stats(),
+            "queue": {
+                "depth": self.queue.depth(),
+                "jobs": self.queue.counts(),
+                "journal_errors": self.queue.journal_errors,
+            },
+            "workers": self.workers.stats(),
+        }
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "scenarios": len(self.registry),
+            "workers": self.workers.num_workers,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto ``self.server.service``; JSON in, JSON out."""
+
+    server_version = "ReproService/1.0"
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # quiet by default
+            super().log_message(format, *args)
+
+    # -- response helpers -------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str, **extra: Any) -> None:
+        self._send_json(status, {"error": message, **extra})
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        document = json.loads(raw.decode("utf-8"))
+        if not isinstance(document, dict):
+            raise ValueError("request body must be a JSON object")
+        return document
+
+    def _route(self) -> Tuple[str, Optional[str]]:
+        parts = [part for part in self.path.split("?", 1)[0].split("/") if part]
+        if len(parts) > 2:
+            # No endpoint is deeper than two segments; a longer path (e.g.
+            # /jobs/<id>/result) must 404, not act on its prefix.
+            return "", None
+        head = parts[0] if parts else ""
+        tail = parts[1] if len(parts) > 1 else None
+        return head, tail
+
+    # -- verbs ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        head, tail = self._route()
+        try:
+            if head == "healthz" and tail is None:
+                self._send_json(200, self.service.health())
+            elif head == "stats" and tail is None:
+                self._send_json(200, self.service.stats())
+            elif head == "scenarios" and tail is None:
+                self._send_json(200, {"scenarios": self.service.registry.describe()})
+            elif head == "jobs" and tail is None:
+                records = [_public_record(job) for job in self.service.queue.jobs()]
+                self._send_json(200, {"jobs": records})
+            elif head == "jobs":
+                self._send_json(200, _public_record(self.service.job(tail)))
+            elif head == "results" and tail is not None:
+                self._send_result(tail)
+            else:
+                self._send_error_json(404, f"no such endpoint: {self.path}")
+        except UnknownJobError:
+            self._send_error_json(404, f"unknown job {tail!r}")
+
+    def _send_result(self, job_id: str) -> None:
+        job = self.service.job(job_id)
+        if job.state == DONE:
+            self._send_json(
+                200,
+                {
+                    "id": job.id,
+                    "scenario": job.scenario,
+                    "state": job.state,
+                    "result": job.result,
+                },
+            )
+        elif job.state in (FAILED, CANCELLED):
+            self._send_error_json(
+                410,
+                f"job {job.id} is {job.state}",
+                state=job.state,
+                detail=job.error,
+            )
+        else:
+            self._send_error_json(
+                409, f"job {job.id} is still {job.state}", state=job.state
+            )
+
+    def do_POST(self) -> None:  # noqa: N802
+        head, tail = self._route()
+        if head != "jobs" or tail is not None:
+            self._send_error_json(404, f"no such endpoint: POST {self.path}")
+            return
+        try:
+            body = self._read_body()
+        except ValueError as error:
+            self._send_error_json(400, f"invalid request body: {error}")
+            return
+        scenario = body.get("scenario")
+        if not isinstance(scenario, str):
+            self._send_error_json(400, "request must name a 'scenario' (string)")
+            return
+        params = body.get("params") or {}
+        priority = body.get("priority", 0)
+        if not isinstance(params, dict) or isinstance(priority, bool) or not isinstance(priority, int):
+            self._send_error_json(
+                400, "'params' must be an object and 'priority' an integer"
+            )
+            return
+        try:
+            job = self.service.submit(scenario, params, priority=priority)
+        except ScenarioError as error:
+            self._send_error_json(400, str(error))
+            return
+        self._send_json(202, _public_record(job))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        head, tail = self._route()
+        if head != "jobs" or tail is None:
+            self._send_error_json(404, f"no such endpoint: DELETE {self.path}")
+            return
+        try:
+            job = self.service.cancel(tail)
+        except UnknownJobError:
+            self._send_error_json(404, f"unknown job {tail!r}")
+            return
+        self._send_json(200, _public_record(job))
+
+
+class ServiceServer:
+    """A :class:`SimulationService` bound to a listening socket."""
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` — an ephemeral port)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Start the workers and serve requests on a background thread."""
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-http", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.service.stop()
+
+    def serve_forever(self) -> None:
+        """Foreground serving (the ``repro serve`` CLI path)."""
+        self.service.start()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+            self.service.stop()
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    engine: Optional[SimulationEngine] = None,
+    registry: Optional[ScenarioRegistry] = None,
+    num_workers: int = 2,
+    journal_dir: Union[None, str, Path] = None,
+    verbose: bool = False,
+) -> ServiceServer:
+    """Compose a service and bind it; ``port=0`` picks an ephemeral port."""
+    service = SimulationService(
+        engine=engine,
+        registry=registry,
+        num_workers=num_workers,
+        journal_dir=journal_dir,
+    )
+    return ServiceServer(service, host=host, port=port, verbose=verbose)

@@ -1,0 +1,127 @@
+"""The worker pool that drains the job queue into the simulation engine.
+
+Workers are daemon *threads*, not processes: a scenario runner spends its
+time inside numpy kernels (which release the GIL) or inside the engine's
+own process pool, so threads multiplex jobs over **one warm engine and one
+shared cache** — the whole point of the service.  A separate process per
+job would fragment the in-memory memo table and re-pay engine warm-up on
+every request.
+
+Each worker loops: claim the highest-priority queued job, look up its
+scenario, run it against the shared engine, and record the result (or the
+failure — a scenario exception marks the job ``failed`` and never takes the
+worker down).  The pool tracks how many workers are busy and how many jobs
+each outcome saw, which is what the service's ``/stats`` endpoint reports
+as utilization.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Dict, List, Optional
+
+from repro.engine import SimulationEngine
+from repro.service.jobs import Job, JobQueue
+from repro.service.scenarios import ScenarioError, ScenarioRegistry
+
+
+class WorkerPool:
+    """``num_workers`` daemon threads draining ``queue`` into ``engine``."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        registry: ScenarioRegistry,
+        engine: SimulationEngine,
+        num_workers: int = 2,
+        poll_interval: float = 0.1,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        self.queue = queue
+        self.registry = registry
+        self.engine = engine
+        self.num_workers = num_workers
+        self.poll_interval = poll_interval
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._busy = 0
+        self._completed = 0
+        self._failed = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("worker pool already started")
+        self._stop.clear()
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._run, name=f"repro-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Ask every worker to exit and join them.
+
+        Queued jobs stay queued (and journalled); the job a worker is
+        executing runs to completion first.  A worker that outlives the
+        join timeout (mid-simulation) stays tracked, so a subsequent
+        ``start()`` refuses to stack a second pool onto the same queue
+        until the stragglers have actually exited.
+        """
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = [thread for thread in self._threads if thread.is_alive()]
+
+    # -- the worker loop --------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim(timeout=self.poll_interval)
+            if job is None:
+                continue
+            with self._lock:
+                self._busy += 1
+            try:
+                self._execute(job)
+            finally:
+                with self._lock:
+                    self._busy -= 1
+
+    def _execute(self, job: Job) -> None:
+        try:
+            scenario = self.registry.get(job.scenario)
+            result = scenario.run(self.engine, job.params)
+        except ScenarioError as error:
+            self.queue.mark_failed(job.id, str(error))
+            with self._lock:
+                self._failed += 1
+        except Exception:
+            self.queue.mark_failed(job.id, traceback.format_exc(limit=20))
+            with self._lock:
+                self._failed += 1
+        else:
+            self.queue.mark_done(job.id, result)
+            with self._lock:
+                self._completed += 1
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Worker counts and utilization (busy workers / pool size)."""
+        with self._lock:
+            busy = self._busy
+            completed = self._completed
+            failed = self._failed
+        return {
+            "num_workers": self.num_workers,
+            "busy_workers": busy,
+            "utilization": busy / self.num_workers,
+            "jobs_completed": completed,
+            "jobs_failed": failed,
+        }

@@ -44,6 +44,26 @@ class TestRunExperiments:
             cli.run_experiments(["fig99"])
 
 
+class TestServiceDispatch:
+    def test_serve_and_submit_route_to_the_service_cli(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            "repro.service.cli.serve_main", lambda argv: calls.append(("serve", argv)) or 0
+        )
+        monkeypatch.setattr(
+            "repro.service.cli.submit_main", lambda argv: calls.append(("submit", argv)) or 0
+        )
+        assert cli.main(["serve", "--port", "8001"]) == 0
+        assert cli.main(["submit", "network", "--param", "network=alexnet"]) == 0
+        assert calls == [
+            ("serve", ["--port", "8001"]),
+            ("submit", ["network", "--param", "network=alexnet"]),
+        ]
+
+    def test_service_commands_are_not_experiment_ids(self):
+        assert not set(cli.SERVICE_COMMANDS) & set(cli.EXPERIMENTS)
+
+
 class TestMain:
     def test_list_exit_code(self, capsys):
         assert cli.main(["--list"]) == 0

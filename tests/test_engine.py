@@ -88,6 +88,35 @@ class TestResultCache:
         assert cache.clear() == 3
         assert len(cache) == 0
 
+    def test_lru_eviction_respects_the_bound(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path, max_entries=2)
+        keys = [fingerprint("unit", value=value) for value in range(3)]
+        for age, (key, value) in enumerate(zip(keys[:2], range(2))):
+            cache.put(key, value)
+            # Order the entries' mtimes explicitly: the filesystem clock may
+            # not tick between two immediate writes.
+            os.utime(cache._path(key), (age, age))
+        assert cache.get(keys[0]) is not None  # touches entry 0: now newest
+        cache.put(keys[2], 2)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(keys[1]) is None  # the untouched entry was evicted
+        assert cache.get(keys[0]) == 0
+        assert cache.get(keys[2]) == 2
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for value in range(5):
+            cache.put(fingerprint("unit", value=value), value)
+        assert len(cache) == 5
+        assert cache.evictions == 0
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+
 
 class TestFingerprint:
     def test_any_input_change_changes_the_key(self, tiny_network):
@@ -199,7 +228,35 @@ class TestEngineNetworkSimulation:
         engine.run_network(tiny_network, seed=0)
         engine.clear_cache()
         assert len(engine.disk_cache) == 0
-        assert engine.stats["memory_entries"] == 0
+        assert engine.stats()["memory_entries"] == 0
+
+    def test_memory_memo_table_lru_bound(self, tiny_network):
+        engine = SimulationEngine(cache_dir=False, memory_max_entries=2)
+        for seed in range(3):
+            engine.run_network(tiny_network, seed=seed)
+        stats = engine.stats()
+        assert stats["memory_entries"] == 2
+        assert stats["memory_evictions"] == 1
+        # The oldest entry (seed 0) was evicted; seed 2 is still memoised.
+        warm = engine.run_network(tiny_network, seed=2)
+        assert engine.run_network(tiny_network, seed=2) is warm
+        with pytest.raises(ValueError):
+            SimulationEngine(cache_dir=False, memory_max_entries=0)
+
+    def test_stats_reports_hit_rate(self, tiny_network, tmp_path):
+        engine = SimulationEngine(cache_dir=tmp_path)
+        assert engine.stats()["hit_rate"] == 0.0
+        engine.run_network(tiny_network, seed=0)
+        engine.run_network(tiny_network, seed=0)  # memo-table hit
+        warm = SimulationEngine(cache_dir=tmp_path)
+        warm.run_network(tiny_network, seed=0)  # disk hit
+        stats = engine.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        warm_stats = warm.stats()
+        assert warm_stats["disk_hits"] == 1
+        assert warm_stats["hits"] == 1 and warm_stats["misses"] == 0
+        assert warm_stats["hit_rate"] == 1.0
 
 
 class TestEngineRunGrid:
@@ -214,8 +271,13 @@ class TestEngineRunGrid:
         assert len(run.results) == len(workloads)
         assert all(len(row) == len(configs) for row in run.results)
         assert run.total_cycles("SCNN") > 0
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError) as excinfo:
             run.column("nonexistent")
+        # The error names every configuration the run did evaluate.
+        assert "'SCNN'" in str(excinfo.value)
+        assert "'SCNN-16PE'" in str(excinfo.value)
+        with pytest.raises(KeyError):
+            run.total_cycles("also-nonexistent")
 
     def test_parallel_grid_identical_to_serial(self, workloads):
         configs = [SCNN_CONFIG, scnn_with_pe_count(16)]

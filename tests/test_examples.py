@@ -33,6 +33,7 @@ class TestExamples:
             "design_space_exploration",
             "pruning_sensitivity",
             "reproduce_paper",
+            "service_client",
         } <= names
 
     def test_quickstart(self, capsys):
@@ -64,6 +65,13 @@ class TestExamples:
         output = capsys.readouterr().out
         assert "PE granularity" in output
         assert "Accumulator banking" in output
+
+    def test_service_client(self, capsys):
+        load_example("service_client").main()
+        output = capsys.readouterr().out
+        assert "Figure 8 via the service" in output
+        assert "DSE sweep via the service" in output
+        assert "cache hit-rate" in output
 
     def test_reproduce_paper_lists_every_experiment(self):
         module = load_example("reproduce_paper")
