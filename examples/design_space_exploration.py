@@ -23,9 +23,13 @@ from dataclasses import replace
 
 from repro import get_network
 from repro.analysis.reporting import format_table
-from repro.scnn.config import SCNN_CONFIG, scnn_with_pe_count
+from repro.arch import get_architecture
 from repro.timeloop import dse
 from repro.timeloop.model import estimate_dense_layer, estimate_scnn_layer
+
+# The paper's design point, consumed from the architecture registry (the
+# same spec `repro compare` and the service's `compare` scenario resolve).
+SCNN_CONFIG = get_architecture("SCNN").config
 
 WEIGHT_DENSITY = 0.35
 ACTIVATION_DENSITY = 0.45
@@ -53,9 +57,12 @@ def main() -> None:
     )
 
     # --- PE granularity (Section VI-C) ----------------------------------------
+    # The granularity variants are registry entries (SCNN, SCNN-16PE,
+    # SCNN-4PE), so the sweep below resolves them by name.
     rows = []
-    for num_pes in (64, 16, 4):
-        config = scnn_with_pe_count(num_pes)
+    for arch_name in ("SCNN", "SCNN-16PE", "SCNN-4PE"):
+        config = get_architecture(arch_name).config
+        num_pes = config.num_pes
         cycles = network_cycles(config)
         rows.append(
             (

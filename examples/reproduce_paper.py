@@ -1,9 +1,13 @@
 """Reproduce every table and figure of the paper's evaluation in one run.
 
-This driver simply chains the experiment modules (one per table/figure, see
-DESIGN.md section 4) and prints their output.  Expect a few minutes of
-runtime: the Figure 8/9/10 experiments simulate all 72 convolutional layers
-of AlexNet, GoogLeNet and VGGNet at full size.
+This driver simply chains the experiment modules (one per table/figure; see
+docs/paper_mapping.md for the full figure-to-code map) and prints their
+output.  Every comparative artifact routes through the architecture registry
+(:mod:`repro.arch`): Figures 8 and 10 are thin views over the DCNN-baselined
+comparison sweep, Table IV iterates the registry's ``table4`` specs, and the
+closing cross-architecture sweep covers the sparsity ablations too.  Expect
+a few minutes of runtime: the Figure 8/9/10 experiments simulate all 72
+convolutional layers of AlexNet, GoogLeNet and VGGNet at full size.
 
 Run with::
 
@@ -12,7 +16,9 @@ Run with::
 
 import time
 
+from repro.arch import available_architectures
 from repro.experiments import (
+    compare,
     fig1_density,
     fig7_sensitivity,
     fig8_performance,
@@ -38,11 +44,15 @@ EXPERIMENTS = (
     ("Figure 10 — energy vs DCNN", fig10_energy),
     ("Section VI-C — PE granularity", sec6c_granularity),
     ("Section VI-D — DRAM tiling for large layers", sec6d_tiling),
+    ("Cross-architecture comparison (architecture registry)", compare),
 )
 
 
 def main() -> None:
     started = time.time()
+    print(
+        "Registered architectures: " + ", ".join(available_architectures())
+    )
     for title, module in EXPERIMENTS:
         banner = f"== {title} =="
         print("\n" + "=" * len(banner))

@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
-"""Docs health check: every relative markdown link must resolve.
+"""Docs health check: links, required documents, docstring coverage.
 
-Scans README.md and docs/**/*.md for inline markdown links and verifies
-that link targets pointing into the repository exist on disk.  External
-(http/https/mailto) links and intra-page anchors are skipped — this is a
-structural check, not a crawler.
+Three structural checks, all CI-enforced:
 
-Exit status: 0 when every link resolves, 1 otherwise (broken links are
-listed on stderr).
+* every relative markdown link in README.md and docs/**/*.md must resolve
+  to a file on disk (external links and intra-page anchors are skipped);
+* the required documents must exist — removing or renaming one is a doc
+  break even when no link points at it yet;
+* every public module, class, function and method in the docstring-gated
+  packages (``src/repro/arch``, ``src/repro/engine``) must carry a
+  docstring.  Private names (leading underscore), dunders and ``@property``
+  accessors are exempt.
+
+Exit status: 0 when every check passes, 1 otherwise (failures are listed
+on stderr).
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
@@ -27,7 +34,14 @@ SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 REQUIRED_DOCUMENTS = (
     "README.md",
     "docs/architecture.md",
+    "docs/paper_mapping.md",
     "docs/service.md",
+)
+
+# Packages whose public API must be fully docstring-covered.
+DOCSTRING_GATED_DIRS = (
+    "src/repro/arch",
+    "src/repro/engine",
 )
 
 
@@ -60,6 +74,60 @@ def broken_links(document: Path) -> list[str]:
     return broken
 
 
+def _is_property_accessor(node: ast.AST) -> bool:
+    """Whether a function definition is a @property getter/setter/deleter."""
+    for decorator in getattr(node, "decorator_list", []):
+        if isinstance(decorator, ast.Name) and decorator.id in (
+            "property",
+            "cached_property",
+        ):
+            return True
+        if isinstance(decorator, ast.Attribute) and decorator.attr in (
+            "setter",
+            "deleter",
+            "getter",
+            "cached_property",
+        ):
+            return True
+    return False
+
+
+def _undocumented(node: ast.AST, qualname: str) -> list[str]:
+    """Public classes/functions under ``node`` that lack a docstring."""
+    failures = []
+    for child in ast.iter_child_nodes(node):
+        if not isinstance(
+            child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        if child.name.startswith("_"):  # private and dunder names
+            continue
+        name = f"{qualname}{child.name}"
+        if isinstance(child, ast.ClassDef):
+            if not ast.get_docstring(child):
+                failures.append(f"class {name}")
+            failures.extend(_undocumented(child, f"{name}."))
+        elif not _is_property_accessor(child) and not ast.get_docstring(child):
+            failures.append(f"function {name}")
+    return failures
+
+
+def missing_docstrings() -> list[str]:
+    """Docstring-coverage violations across the gated packages."""
+    failures = []
+    for relative in DOCSTRING_GATED_DIRS:
+        for path in sorted((REPO_ROOT / relative).rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            location = path.relative_to(REPO_ROOT)
+            if not ast.get_docstring(tree):
+                failures.append(f"{location}: module docstring missing")
+            failures.extend(
+                f"{location}: {entry} lacks a docstring"
+                for entry in _undocumented(tree, "")
+            )
+    return failures
+
+
 def main() -> int:
     docs = documents()
     if not docs:
@@ -77,7 +145,16 @@ def main() -> int:
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"checked {len(docs)} documents, all relative links resolve")
+    undocumented = missing_docstrings()
+    if undocumented:
+        print("public API without docstrings:", file=sys.stderr)
+        for failure in undocumented:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"checked {len(docs)} documents (links + required set) and "
+        f"{len(DOCSTRING_GATED_DIRS)} packages (docstring coverage): all good"
+    )
     return 0
 
 

@@ -10,6 +10,9 @@ The public API exposes, in dependency order:
 * ``repro.tensor`` — the compressed-sparse encodings,
 * ``repro.nn`` — the network catalogues, pruning and workload generation,
 * ``repro.dataflow`` — loop nests, tiling and dataflow descriptions,
+* ``repro.arch`` — the architecture registry: every accelerator variant as
+  a declarative spec bound to a simulator adapter, plus cross-architecture
+  comparison sweeps,
 * ``repro.scnn`` — the SCNN / DCNN functional and cycle-level simulators,
 * ``repro.timeloop`` — the analytical cycle, energy and area models,
 * ``repro.engine`` — the batched simulation engine (caching, process-pool
@@ -25,6 +28,13 @@ Quickstart::
     print(f"SCNN speedup over DCNN: {result.network_speedup:.2f}x")
 """
 
+from repro.arch import (
+    ArchitectureSpec,
+    available_architectures,
+    compare_network,
+    default_registry,
+    get_architecture,
+)
 from repro.engine import SimulationEngine, configure_default_engine, default_engine
 from repro.nn import (
     ConvLayerSpec,
@@ -59,6 +69,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorConfig",
+    "ArchitectureSpec",
+    "available_architectures",
+    "compare_network",
+    "default_registry",
+    "get_architecture",
     "ConvLayerSpec",
     "DCNN_CONFIG",
     "DCNN_OPT_CONFIG",

@@ -125,6 +125,48 @@ def design_points_payload(points: Sequence[DesignPoint]) -> Dict[str, Any]:
     }
 
 
+def comparison_payload(comparison: Any) -> Dict[str, Any]:
+    """The transport form of one cross-architecture comparison.
+
+    ``comparison`` is a :class:`repro.arch.compare.NetworkComparison`; the
+    payload carries per-architecture totals and ratios, the per-module
+    speedup/energy breakdown, and the per-layer metric rows.
+    """
+    names = list(comparison.architectures)
+    modules = comparison.modules()
+    return {
+        "network": comparison.network,
+        "seed": comparison.seed,
+        "baseline": comparison.baseline,
+        "architectures": names,
+        "total_cycles": {name: int(comparison.total_cycles(name)) for name in names},
+        "speedup": {name: comparison.speedup(name) for name in names},
+        "total_energy": {name: comparison.total_energy(name) for name in names},
+        "energy_ratio": {name: comparison.energy_ratio(name) for name in names},
+        "oracle": {
+            "total_cycles": int(comparison.oracle_total_cycles),
+            "speedup": comparison.oracle_speedup,
+        },
+        "modules": [
+            {
+                "module": module,
+                "speedup": {
+                    name: comparison.module_speedup(module, name) for name in names
+                },
+                "energy_ratio": {
+                    name: comparison.module_energy_ratio(module, name)
+                    for name in names
+                },
+            }
+            for module in modules
+        ],
+        "layers": {
+            name: [to_jsonable(metrics) for metrics in comparison.layers[name]]
+            for name in names
+        },
+    }
+
+
 def engine_run_payload(run: Any) -> Dict[str, Any]:
     """The transport form of one :class:`repro.engine.EngineRun` grid."""
     config_names: List[str] = [config.name for config in run.configs]

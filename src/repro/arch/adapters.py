@@ -1,0 +1,173 @@
+"""Simulator adapters: the common evaluation interface behind every spec.
+
+An adapter knows how to evaluate one *family* of architectures with the
+repository's performance models; a spec names its adapter
+(:attr:`~repro.arch.spec.ArchitectureSpec.adapter`) and the registry resolves
+it at simulation time.  Every adapter exposes the same
+``simulate_layer(workload, config) -> ArchLayerResult`` surface, so the
+engine's comparison sweeps (and anything else that iterates architectures)
+never branch on accelerator family.
+
+Two adapters cover the paper's catalogue:
+
+* ``cartesian-sparse`` — the vectorised PT-IS-CP cycle model
+  (:func:`repro.scnn.cycles.simulate_layer_cycles`).  The dataflow's
+  ``skips_zero_weights`` / ``skips_zero_activations`` flags decide which
+  operands the architecture observes compressed: an operand the dataflow
+  cannot skip is presented fully dense (the cycle model consumes only the
+  non-zero *structure* of its operands, so an all-ones stand-in models an
+  uncompressed stream exactly).  This one adapter therefore covers SCNN and
+  both single-operand ablations.
+* ``dot-product-dense`` — the dense PT-IS-DP baseline model
+  (:func:`repro.scnn.dcnn.simulate_dcnn_layer`); only the layer shape
+  matters, so the operand tensors are never materialised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.spec import AcceleratorConfig
+from repro.scnn.cycles import simulate_layer_cycles
+from repro.scnn.dcnn import simulate_dcnn_layer
+
+
+@dataclass(frozen=True)
+class ArchLayerResult:
+    """One layer evaluated on one architecture, adapter-independent.
+
+    ``operations`` counts the multiplier slots the layer actually occupied —
+    non-zero products for a sparse architecture, all multiplies for a dense
+    one.  ``weight_vector_fetches`` is only reported by the sparse adapter
+    (the energy model turns it into weight-buffer reads); dense adapters
+    leave it ``None``.
+    """
+
+    architecture: str
+    layer: str
+    cycles: int
+    operations: int
+    multiplier_utilization: float
+    idle_fraction: float
+    weight_vector_fetches: Optional[int] = None
+
+
+class SimulatorAdapter:
+    """Common interface every architecture family implements."""
+
+    #: Registry key (the value a spec's ``adapter`` field names).
+    name: str = ""
+
+    def simulate_layer(self, workload, config: AcceleratorConfig) -> ArchLayerResult:
+        """Evaluate one layer workload on ``config``.
+
+        ``workload`` is anything duck-typed like
+        :class:`repro.nn.inference.LayerWorkload` (``spec`` / ``weights`` /
+        ``activations``); adapters that do not need the operand tensors must
+        not touch them, so lazy :class:`~repro.engine.workloads.WorkloadHandle`
+        recipes stay cheap.
+        """
+        raise NotImplementedError
+
+
+class CartesianSparseAdapter(SimulatorAdapter):
+    """PT-IS-CP architectures: SCNN and its single-operand ablations."""
+
+    name = "cartesian-sparse"
+
+    def simulate_layer(self, workload, config: AcceleratorConfig) -> ArchLayerResult:
+        """Run the vectorised sparse cycle model, densifying unskipped operands."""
+        dataflow = config.dataflow
+        weights = workload.weights
+        activations = workload.activations
+        if not dataflow.skips_zero_weights:
+            # The cycle model only reads the non-zero structure; an all-ones
+            # tensor is exactly an uncompressed operand stream.
+            weights = np.ones_like(weights)
+        if not dataflow.skips_zero_activations:
+            activations = np.ones_like(activations)
+        result = simulate_layer_cycles(workload.spec, weights, activations, config)
+        return ArchLayerResult(
+            architecture=config.name,
+            layer=workload.spec.name,
+            cycles=int(result.cycles),
+            operations=int(result.products),
+            multiplier_utilization=result.multiplier_utilization,
+            idle_fraction=result.idle_fraction,
+            weight_vector_fetches=int(result.weight_vector_fetches),
+        )
+
+
+class DotProductDenseAdapter(SimulatorAdapter):
+    """PT-IS-DP architectures: the DCNN / DCNN-opt dense baselines."""
+
+    name = "dot-product-dense"
+
+    def simulate_layer(self, workload, config: AcceleratorConfig) -> ArchLayerResult:
+        """Run the dense baseline model (layer shape only, no tensors)."""
+        result = simulate_dcnn_layer(workload.spec, config)
+        return ArchLayerResult(
+            architecture=config.name,
+            layer=workload.spec.name,
+            cycles=int(result.cycles),
+            operations=int(result.multiplies),
+            multiplier_utilization=result.multiplier_utilization,
+            idle_fraction=result.idle_fraction,
+            weight_vector_fetches=None,
+        )
+
+
+_ADAPTERS: Dict[str, SimulatorAdapter] = {
+    adapter.name: adapter
+    for adapter in (CartesianSparseAdapter(), DotProductDenseAdapter())
+}
+
+
+def available_adapters() -> List[str]:
+    """Names of every registered simulator adapter."""
+    return sorted(_ADAPTERS)
+
+
+def get_adapter(name: str) -> SimulatorAdapter:
+    """Adapter registered under ``name``; unknown names list the catalogue."""
+    try:
+        return _ADAPTERS[name]
+    except KeyError:
+        known = ", ".join(map(repr, available_adapters())) or "(none)"
+        raise KeyError(
+            f"unknown simulator adapter {name!r}; available adapters: {known}"
+        ) from None
+
+
+def register_adapter(adapter: SimulatorAdapter) -> SimulatorAdapter:
+    """Add a custom adapter (a new architecture family) to the catalogue."""
+    if not adapter.name:
+        raise ValueError("an adapter needs a non-empty name")
+    if adapter.name in _ADAPTERS:
+        raise ValueError(f"adapter {adapter.name!r} is already registered")
+    _ADAPTERS[adapter.name] = adapter
+    return adapter
+
+
+def effective_densities(
+    config: AcceleratorConfig,
+    weight_density: float,
+    activation_density: float,
+    output_density: float,
+) -> Tuple[float, float, float]:
+    """Densities as observed by ``config``'s dataflow.
+
+    An operand the dataflow cannot skip is observed fully dense (density
+    1.0); output activations follow the activation operand, since one layer's
+    outputs are the next layer's input activations.  The energy model is fed
+    these *effective* densities so a single-operand ablation is charged for
+    the dense stream it actually moves.
+    """
+    dataflow = config.dataflow
+    effective_weight = weight_density if dataflow.skips_zero_weights else 1.0
+    if dataflow.skips_zero_activations:
+        return effective_weight, activation_density, output_density
+    return effective_weight, 1.0, 1.0

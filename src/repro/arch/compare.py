@@ -1,0 +1,340 @@
+"""Cross-architecture comparison sweeps.
+
+:func:`compare_network` evaluates one network on any set of registered
+architectures and returns a :class:`NetworkComparison` — per-layer cycles and
+energy for every architecture, with per-module and network-wide speedup /
+energy-ratio aggregations relative to a baseline (DCNN by default, any
+registered name via ``baseline=``; a spec's ``baseline`` field is provenance
+metadata, not a sweep default).  The paper's headline comparisons are thin views over this:
+Figure 8 is the speedup column, Figure 10 the energy column, Table IV the
+configuration metadata.
+
+Two evaluation paths feed one comparison, both through the shared
+:class:`~repro.engine.SimulationEngine` (cached, parallel):
+
+* the canonical trio (SCNN, DCNN, DCNN-opt) is *derived from the very same*
+  ``engine.run_network`` simulation the figure experiments consume, so a
+  comparison's SCNN/DCNN/DCNN-opt numbers are bitwise-identical to the
+  pre-existing Figure 8 / Figure 10 paths (pinned by
+  ``tests/test_compare_equivalence.py``);
+* every other registered architecture (the sparsity ablations, granularity
+  variants, anything a user registers) is evaluated through
+  ``engine.run_architectures`` — the registry's simulator adapters — with
+  energy accounted at the *effective* densities its dataflow observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.arch.adapters import effective_densities
+from repro.arch.registry import get_architecture
+from repro.arch.spec import ArchitectureSpec
+from repro.nn.networks import Network
+from repro.timeloop.energy import (
+    DEFAULT_ENERGY_TABLE,
+    EnergyTable,
+    layer_energy_from_densities,
+)
+
+#: The paper's headline comparison (Figures 8 and 10).
+DEFAULT_COMPARISON = ("DCNN", "DCNN-opt", "SCNN")
+
+#: Architectures whose metrics are views over the canonical network
+#: simulation rather than separate adapter runs.
+_CORE = ("SCNN", "DCNN", "DCNN-opt")
+
+
+@dataclass(frozen=True)
+class ArchLayerMetrics:
+    """One layer of one architecture inside a comparison."""
+
+    architecture: str
+    layer: str
+    module: str
+    cycles: int
+    operations: int
+    multiplier_utilization: float
+    idle_fraction: float
+    energy_total: float
+
+
+@dataclass
+class NetworkComparison:
+    """Per-layer, per-module and network-wide cross-architecture metrics.
+
+    Aggregations deliberately mirror the arithmetic of
+    :class:`repro.scnn.simulator.NetworkSimulation` and of the Figure 8 / 10
+    drivers (same member ordering, same summation order, same guards), so a
+    comparison reproduces those figures bitwise.
+    """
+
+    network: str
+    seed: int
+    baseline: str
+    architectures: List[str]
+    layers: Dict[str, List[ArchLayerMetrics]]
+    oracle_cycles: List[int] = field(default_factory=list)
+
+    def _column(self, architecture: str) -> List[ArchLayerMetrics]:
+        try:
+            return self.layers[architecture]
+        except KeyError:
+            known = ", ".join(map(repr, self.architectures)) or "(none)"
+            raise KeyError(
+                f"no compared architecture named {architecture!r}; "
+                f"this comparison evaluated: {known}"
+            ) from None
+
+    # -- network-wide aggregation ----------------------------------------------
+
+    def modules(self) -> List[str]:
+        """Distinct module labels in first-appearance (layer) order."""
+        seen: List[str] = []
+        for metrics in self._column(self.baseline):
+            if metrics.module not in seen:
+                seen.append(metrics.module)
+        return seen
+
+    def total_cycles(self, architecture: str) -> int:
+        """Summed cycles of one architecture across every layer."""
+        return sum(metrics.cycles for metrics in self._column(architecture))
+
+    def total_energy(self, architecture: str) -> float:
+        """Summed energy (picojoules) of one architecture across every layer."""
+        return sum(metrics.energy_total for metrics in self._column(architecture))
+
+    def speedup(self, architecture: str) -> float:
+        """Network speedup of ``architecture`` over the baseline."""
+        cycles = self.total_cycles(architecture)
+        if cycles == 0:
+            return float("inf")
+        return self.total_cycles(self.baseline) / cycles
+
+    def energy_ratio(self, architecture: str) -> float:
+        """Network energy relative to the baseline (lower is better)."""
+        baseline = self.total_energy(self.baseline)
+        if baseline == 0:
+            return float("inf")
+        return self.total_energy(architecture) / baseline
+
+    @property
+    def oracle_total_cycles(self) -> int:
+        """Summed oracle-bound cycles across every layer."""
+        return sum(self.oracle_cycles)
+
+    @property
+    def oracle_speedup(self) -> float:
+        """Network speedup of the oracular SCNN over the baseline."""
+        oracle = self.oracle_total_cycles
+        if oracle == 0:
+            return float("inf")
+        return self.total_cycles(self.baseline) / oracle
+
+    # -- per-module aggregation -------------------------------------------------
+
+    def _module_members(
+        self, architecture: str, module: str
+    ) -> List[ArchLayerMetrics]:
+        return [m for m in self._column(architecture) if m.module == module]
+
+    def module_cycles(self, module: str, architecture: str) -> int:
+        """Summed cycles of one module on one architecture."""
+        return sum(m.cycles for m in self._module_members(architecture, module))
+
+    def module_speedup(self, module: str, architecture: str) -> float:
+        """Module speedup over the baseline (Figure 8's bar groups)."""
+        cycles = self.module_cycles(module, architecture)
+        if cycles == 0:
+            return float("inf")
+        return self.module_cycles(module, self.baseline) / cycles
+
+    def module_oracle_speedup(self, module: str) -> float:
+        """Module speedup of the oracular SCNN over the baseline."""
+        members = [
+            self.oracle_cycles[index]
+            for index, metrics in enumerate(self._column(self.baseline))
+            if metrics.module == module
+        ]
+        oracle = sum(members)
+        if oracle == 0:
+            return float("inf")
+        return self.module_cycles(module, self.baseline) / oracle
+
+    def module_energy_ratio(self, module: str, architecture: str) -> float:
+        """Module energy relative to the baseline (Figure 10's bar groups).
+
+        Returns 0.0 when the baseline module energy is zero, matching the
+        Figure 10 driver's guard.
+        """
+        baseline = sum(
+            m.energy_total for m in self._module_members(self.baseline, module)
+        )
+        if not baseline:
+            return 0.0
+        total = sum(
+            m.energy_total for m in self._module_members(architecture, module)
+        )
+        return total / baseline
+
+
+def _core_layer_metrics(name: str, simulation) -> List[ArchLayerMetrics]:
+    """Trio metrics as views over one canonical network simulation."""
+    metrics = []
+    for layer in simulation.layers:
+        if name == "SCNN":
+            cycles = int(layer.scnn.cycles)
+            operations = int(layer.scnn.products)
+            utilization = layer.scnn.multiplier_utilization
+            idle = layer.scnn.idle_fraction
+        else:  # DCNN and DCNN-opt share the dense performance model.
+            cycles = int(layer.dcnn.cycles)
+            operations = int(layer.dcnn.multiplies)
+            utilization = layer.dcnn.multiplier_utilization
+            idle = layer.dcnn.idle_fraction
+        metrics.append(
+            ArchLayerMetrics(
+                architecture=name,
+                layer=layer.layer_name,
+                module=layer.module,
+                cycles=cycles,
+                operations=operations,
+                multiplier_utilization=utilization,
+                idle_fraction=idle,
+                energy_total=layer.energy[name].total,
+            )
+        )
+    return metrics
+
+
+def _variant_layer_metrics(
+    spec: ArchitectureSpec,
+    results,
+    simulation,
+    energy_table: EnergyTable,
+) -> List[ArchLayerMetrics]:
+    """Adapter results plus effective-density energy for one variant."""
+    metrics = []
+    for index, (layer, result) in enumerate(zip(simulation.layers, results)):
+        workload = layer.workload
+        weight_density, activation_density, output_density = effective_densities(
+            spec.config,
+            workload.weight_density,
+            workload.activation_density,
+            layer.output_density,
+        )
+        weight_buffer_reads = None
+        if spec.config.is_sparse and result.weight_vector_fetches is not None:
+            weight_buffer_reads = (
+                result.weight_vector_fetches * spec.config.multipliers_f
+            )
+        energy = layer_energy_from_densities(
+            workload.spec,
+            spec.config,
+            weight_density=weight_density,
+            activation_density=activation_density,
+            output_density=output_density,
+            cycles=result.cycles,
+            products=result.operations,
+            weight_buffer_reads=weight_buffer_reads,
+            table=energy_table,
+        )
+        metrics.append(
+            ArchLayerMetrics(
+                architecture=spec.name,
+                layer=layer.layer_name,
+                module=layer.module,
+                cycles=result.cycles,
+                operations=result.operations,
+                multiplier_utilization=result.multiplier_utilization,
+                idle_fraction=result.idle_fraction,
+                energy_total=energy.total,
+            )
+        )
+    return metrics
+
+
+def compare_network(
+    network: Union[str, Network],
+    architectures: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 0,
+    baseline: str = "DCNN",
+    engine=None,
+    energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+    parallel: Optional[int] = None,
+) -> NetworkComparison:
+    """Evaluate ``network`` on every requested architecture.
+
+    ``architectures`` defaults to the paper's headline trio
+    (:data:`DEFAULT_COMPARISON`); any registered name is accepted, and the
+    baseline is always evaluated even when not listed.  ``engine`` overrides
+    the shared default :class:`~repro.engine.SimulationEngine` (the service's
+    ``compare`` scenario passes its own warm engine).
+    """
+    from repro.engine import default_engine
+
+    if engine is None:
+        engine = default_engine()
+    names = list(architectures) if architectures else list(DEFAULT_COMPARISON)
+    if baseline not in names:
+        names.insert(0, baseline)
+    # Fail fast (with the registry's catalogue-listing error) before any
+    # simulation work starts.
+    specs = {name: get_architecture(name) for name in names}
+
+    simulation = engine.run_network(network, seed=seed, energy_table=energy_table)
+    variant_names = [name for name in names if name not in _CORE]
+    variant_runs = {}
+    if variant_names:
+        workloads = [layer.workload for layer in simulation.layers]
+        grid = engine.run_architectures(
+            workloads,
+            [specs[name] for name in variant_names],
+            parallel=parallel,
+        )
+        variant_runs = {name: grid.column(name) for name in variant_names}
+
+    layers: Dict[str, List[ArchLayerMetrics]] = {}
+    for name in names:
+        if name in _CORE:
+            layers[name] = _core_layer_metrics(name, simulation)
+        else:
+            layers[name] = _variant_layer_metrics(
+                specs[name], variant_runs[name], simulation, energy_table
+            )
+    return NetworkComparison(
+        network=simulation.network.name,
+        seed=seed,
+        baseline=baseline,
+        architectures=names,
+        layers=layers,
+        oracle_cycles=[int(layer.oracle_cycles) for layer in simulation.layers],
+    )
+
+
+def compare_networks(
+    networks: Sequence[Union[str, Network]],
+    architectures: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 0,
+    baseline: str = "DCNN",
+    engine=None,
+    energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+    parallel: Optional[int] = None,
+) -> Dict[str, NetworkComparison]:
+    """Run :func:`compare_network` over several networks, keyed by name."""
+    comparisons: Dict[str, NetworkComparison] = {}
+    for network in networks:
+        comparison = compare_network(
+            network,
+            architectures,
+            seed=seed,
+            baseline=baseline,
+            engine=engine,
+            energy_table=energy_table,
+            parallel=parallel,
+        )
+        comparisons[comparison.network] = comparison
+    return comparisons

@@ -11,6 +11,11 @@ Three dataflows appear in the evaluation:
   DCNN-opt baselines (Section V): same tiling and input-stationarity, but the
   inner operation is a dot product over contiguous dense vectors, so zero
   operands still occupy multiplier slots.
+
+Two single-operand ablations of the sparse dataflow round out the catalogue
+(the SCNN-SparseW / SCNN-SparseA variants of the paper's evaluation): each
+keeps the Cartesian-product structure but compresses — and skips zeros of —
+only one operand, with the other delivered dense.
 """
 
 from __future__ import annotations
@@ -95,6 +100,30 @@ PT_IS_CP_SPARSE = Dataflow(
     skips_zero_activations=True,
     gates_zero_operands=False,
     compresses_dram_traffic=True,
+)
+
+PT_IS_CP_SPARSE_W = Dataflow(
+    name="PT-IS-CP-sparse-w",
+    temporal_order=INPUT_STATIONARY_NEST,
+    inner_operation="cartesian",
+    weights_compressed=True,
+    activations_compressed=False,
+    skips_zero_weights=True,
+    skips_zero_activations=False,
+    gates_zero_operands=False,
+    compresses_dram_traffic=False,
+)
+
+PT_IS_CP_SPARSE_A = Dataflow(
+    name="PT-IS-CP-sparse-a",
+    temporal_order=INPUT_STATIONARY_NEST,
+    inner_operation="cartesian",
+    weights_compressed=False,
+    activations_compressed=True,
+    skips_zero_weights=False,
+    skips_zero_activations=True,
+    gates_zero_operands=False,
+    compresses_dram_traffic=False,
 )
 
 PT_IS_DP_DENSE = Dataflow(

@@ -4,7 +4,9 @@ Public surface:
 
 * :class:`SimulationEngine` — ``run(workloads, configs, parallel=N)`` for
   batched layer evaluation, ``run_network`` for full per-network simulations
-  (what the figure experiments consume), and ``sweep`` for parallel
+  (what the figure experiments consume), ``run_architectures`` for
+  workload x architecture grids evaluated through the registry's simulator
+  adapters (what the ``compare`` sweeps consume), and ``sweep`` for parallel
   design-space exploration.
 * :func:`default_engine` / :func:`configure_default_engine` — the shared
   engine instance the experiment layer and CLI route through.
@@ -21,7 +23,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.engine.cache import ResultCache, SCHEMA_VERSION, default_cache_dir, fingerprint
-from repro.engine.core import EngineRun, SimulationEngine
+from repro.engine.core import ArchitectureRun, EngineRun, SimulationEngine
 from repro.engine.parallel import parallel_map, resolve_workers
 from repro.engine.workloads import WorkloadHandle
 
@@ -65,6 +67,7 @@ def configure_default_engine(
 
 
 __all__ = [
+    "ArchitectureRun",
     "EngineRun",
     "ResultCache",
     "SCHEMA_VERSION",

@@ -149,6 +149,11 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[Any]:
+        """The cached value under ``key``, or ``None`` on a miss.
+
+        Unreadable entries (truncated writes, incompatible pickles) are
+        deleted and reported as misses, never raised.
+        """
         path = self._path(key)
         try:
             with path.open("rb") as handle:
@@ -173,6 +178,7 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic rename; LRU-evicts past the bound)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         is_new = self.max_entries is not None and not path.exists()

@@ -100,6 +100,17 @@ def _design_point_task(
     return evaluate_config(config, network, sparsity=sparsity, energy_table=table)
 
 
+def _architecture_layer_task(task):
+    """Evaluate one (workload, architecture spec) cell via the spec's adapter."""
+    # Imported here: repro.arch.adapters pulls the simulators in, and the
+    # engine must stay importable from the low layers that the architecture
+    # registry itself feeds (see repro.arch.__init__).
+    from repro.arch.adapters import get_adapter
+
+    workload, spec = task
+    return get_adapter(spec.adapter).simulate_layer(workload, spec.config)
+
+
 @dataclass
 class EngineRun:
     """Result grid of one :meth:`SimulationEngine.run` call.
@@ -124,7 +135,37 @@ class EngineRun:
         )
 
     def total_cycles(self, config_name: str) -> int:
+        """Summed cycles of the named configuration across every workload."""
         return sum(result.cycles for result in self.column(config_name))
+
+
+@dataclass
+class ArchitectureRun:
+    """Result grid of one :meth:`SimulationEngine.run_architectures` call.
+
+    ``results[i][j]`` is the adapter result
+    (:class:`repro.arch.adapters.ArchLayerResult`) of ``workloads[i]`` on
+    ``architectures[j]``.
+    """
+
+    workloads: List[AnyWorkload]
+    architectures: List[object]  # List[repro.arch.spec.ArchitectureSpec]
+    results: List[List[object]]
+
+    def column(self, architecture: str) -> List[object]:
+        """All per-workload results of the named architecture."""
+        for j, spec in enumerate(self.architectures):
+            if spec.name == architecture:
+                return [row[j] for row in self.results]
+        known = ", ".join(repr(spec.name) for spec in self.architectures) or "(none)"
+        raise KeyError(
+            f"no evaluated architecture named {architecture!r}; "
+            f"this run evaluated: {known}"
+        )
+
+    def total_cycles(self, architecture: str) -> int:
+        """Summed cycles of the named architecture across every workload."""
+        return sum(result.cycles for result in self.column(architecture))
 
 
 class SimulationEngine:
@@ -383,6 +424,58 @@ class SimulationEngine:
             cells[i][j] = result
             self._store(key, result)
         return EngineRun(workloads=workloads, configs=configs, results=cells)
+
+    def run_architectures(
+        self,
+        workloads: Sequence[AnyWorkload],
+        architectures: Sequence[object],
+        *,
+        parallel: Optional[int] = None,
+    ) -> ArchitectureRun:
+        """Evaluate every workload on every registered architecture.
+
+        Like :meth:`run`, but each cell is evaluated through the
+        architecture's simulator adapter (the common ``simulate_layer``
+        surface of :mod:`repro.arch.adapters`) instead of the raw SCNN cycle
+        model, so sparse and dense architectures — and any future family —
+        mix freely in one grid.  ``architectures`` accepts registered names
+        or :class:`~repro.arch.spec.ArchitectureSpec` objects; cells are
+        individually content-addressed in the cache and shard across the
+        process pool.
+        """
+        from repro.arch.registry import get_architecture
+        from repro.arch.spec import ArchitectureSpec
+
+        workloads = list(workloads)
+        specs = [
+            spec if isinstance(spec, ArchitectureSpec) else get_architecture(spec)
+            for spec in architectures
+        ]
+        cells: List[List[object]] = [[None] * len(specs) for _ in workloads]
+        workload_parts = [describe(workload) for workload in workloads]
+        spec_parts = [describe(spec) for spec in specs]
+        pending: List[Tuple[int, int, str]] = []
+        for i, workload in enumerate(workloads):
+            for j, spec in enumerate(specs):
+                key = fingerprint(
+                    "architecture-layer",
+                    workload=workload_parts[i],
+                    architecture=spec_parts[j],
+                )
+                cached = self._lookup(key)
+                if cached is not None:
+                    cells[i][j] = cached
+                else:
+                    pending.append((i, j, key))
+        results = parallel_map(
+            _architecture_layer_task,
+            [(workloads[i], specs[j]) for i, j, _ in pending],
+            self._workers(parallel),
+        )
+        for (i, j, key), result in zip(pending, results):
+            cells[i][j] = result
+            self._store(key, result)
+        return ArchitectureRun(workloads=workloads, architectures=specs, results=cells)
 
     # -- design-space exploration -----------------------------------------------
 

@@ -2,5 +2,13 @@
 
 Each module exposes a ``run()`` function that returns structured results and
 a ``main()`` entry point that prints the same rows/series the paper reports.
-See DESIGN.md section 4 for the experiment index.
+``docs/paper_mapping.md`` maps every paper artifact to its driver, CLI
+command and pinning test.
+
+The comparative drivers are thin views over the architecture registry's
+comparison sweep (:mod:`repro.arch.compare`): ``fig8_performance`` and
+``fig10_energy`` select columns of the DCNN-baselined comparison,
+``table4_configs`` reports the registry's Table IV specs, and ``compare``
+(the ``repro compare`` subcommand) exposes the sweep over any registered
+architectures directly.
 """

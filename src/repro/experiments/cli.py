@@ -11,10 +11,11 @@ on-disk cache so re-running an experiment with unchanged inputs is instant
 (``REPRO_CACHE_DIR`` sets the same root environment-wide; ``--no-cache``
 overrides both).
 
-Two subcommands route to the simulation service (:mod:`repro.service`)
-instead of running experiments in-process: ``repro serve`` boots the HTTP
-service on one warm engine, and ``repro submit SCENARIO`` sends a scenario
-to a running service and prints the result JSON.
+Three subcommands are dispatched before experiment parsing: ``repro
+compare`` runs cross-architecture comparison sweeps over the architecture
+registry (:mod:`repro.experiments.compare`), ``repro serve`` boots the HTTP
+service (:mod:`repro.service`) on one warm engine, and ``repro submit
+SCENARIO`` sends a scenario to a running service and prints the result JSON.
 """
 
 from __future__ import annotations
@@ -55,17 +56,19 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
-# Subcommands dispatched to the service CLI before experiment parsing, so
-# `repro serve --port 8001` never collides with experiment ids.
+# Subcommands dispatched before experiment parsing, so `repro serve --port
+# 8001` or `repro compare --list` never collide with experiment ids.
 SERVICE_COMMANDS = ("serve", "submit")
+COMPARE_COMMAND = "compare"
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the SCNN paper's tables and figures.",
-        epilog="Service mode: 'repro serve' boots the HTTP simulation "
-        "service, 'repro submit SCENARIO' sends it work "
+        epilog="Subcommands: 'repro compare' sweeps registered accelerator "
+        "architectures against each other; 'repro serve' boots the HTTP "
+        "simulation service, 'repro submit SCENARIO' sends it work "
         "(each accepts --help).",
     )
     parser.add_argument(
@@ -137,6 +140,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         handler = serve_main if argv[0] == "serve" else submit_main
         return handler(argv[1:])
+    if argv and argv[0] == COMPARE_COMMAND:
+        from repro.experiments.compare import compare_main
+
+        return compare_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:

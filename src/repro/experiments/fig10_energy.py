@@ -1,5 +1,10 @@
 """Figure 10: per-layer energy of DCNN-opt and SCNN relative to DCNN.
 
+This driver is a thin view over the cross-architecture comparison sweep
+(:func:`repro.arch.compare.compare_network`): it selects the DCNN-opt and
+SCNN energy-ratio columns of the default DCNN-baselined comparison, whose
+trio metrics are bitwise-identical to the canonical network simulation.
+
 Paper landmarks: DCNN-opt improves energy by ~2.0x over DCNN and SCNN by
 ~2.3x on average; dense input layers (AlexNet conv1, VGG conv1_1) are the
 worst case for SCNN because the crossbar and banked-accumulator overheads are
@@ -12,11 +17,11 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.reporting import format_table
+from repro.arch.compare import compare_network
 from repro.experiments.common import (
     EVALUATED_NETWORKS,
     PAPER_AVERAGE_ENERGY_REDUCTION,
     PAPER_DCNN_OPT_ENERGY_REDUCTION,
-    cached_simulation,
 )
 
 
@@ -32,6 +37,8 @@ class EnergyRow:
 
 @dataclass
 class EnergyReport:
+    """Figure 10 data of one network."""
+
     network: str
     rows: List[EnergyRow]
     network_dcnn_opt: float
@@ -48,34 +55,30 @@ def run(
     """
     reports: Dict[str, EnergyReport] = {}
     for name in networks:
-        simulation = cached_simulation(name, seed, engine=engine)
+        comparison = compare_network(name, seed=seed, engine=engine)
         rows = []
-        for module in simulation.modules():
-            members = [layer for layer in simulation.layers if layer.module == module]
-            dcnn = sum(layer.energy["DCNN"].total for layer in members)
-            dcnn_opt = sum(layer.energy["DCNN-opt"].total for layer in members)
-            scnn = sum(layer.energy["SCNN"].total for layer in members)
+        for module in comparison.modules():
             rows.append(
                 EnergyRow(
                     label=module,
                     dcnn=1.0,
-                    dcnn_opt=dcnn_opt / dcnn if dcnn else 0.0,
-                    scnn=scnn / dcnn if dcnn else 0.0,
+                    dcnn_opt=comparison.module_energy_ratio(module, "DCNN-opt"),
+                    scnn=comparison.module_energy_ratio(module, "SCNN"),
                 )
             )
         rows.append(
             EnergyRow(
                 label="all",
                 dcnn=1.0,
-                dcnn_opt=simulation.network_energy_ratio("DCNN-opt"),
-                scnn=simulation.network_energy_ratio("SCNN"),
+                dcnn_opt=comparison.energy_ratio("DCNN-opt"),
+                scnn=comparison.energy_ratio("SCNN"),
             )
         )
-        reports[simulation.network.name] = EnergyReport(
-            network=simulation.network.name,
+        reports[comparison.network] = EnergyReport(
+            network=comparison.network,
             rows=rows,
-            network_dcnn_opt=simulation.network_energy_ratio("DCNN-opt"),
-            network_scnn=simulation.network_energy_ratio("SCNN"),
+            network_dcnn_opt=comparison.energy_ratio("DCNN-opt"),
+            network_scnn=comparison.energy_ratio("SCNN"),
         )
     return reports
 
@@ -91,6 +94,7 @@ def average_improvements(reports: Dict[str, EnergyReport]) -> Dict[str, float]:
 
 
 def main() -> str:
+    """Print (and return) the Figure 10 tables for every evaluated network."""
     reports = run()
     sections = []
     for report in reports.values():

@@ -4,6 +4,11 @@ For each evaluated network the cycle-level model reports, per layer (per
 inception module for GoogLeNet, as in the paper) and for the whole network,
 the speedup of SCNN and of the oracular SCNN over the dense DCNN baseline.
 
+This driver is a thin view over the cross-architecture comparison sweep
+(:func:`repro.arch.compare.compare_network`): it selects the SCNN and oracle
+speedup columns of the default DCNN-baselined comparison, whose trio metrics
+are bitwise-identical to the canonical network simulation.
+
 Paper landmarks: network-wide speedups of 2.37x (AlexNet), 2.19x (GoogLeNet)
 and 3.52x (VGGNet), 2.7x on average, with SCNN(oracle) widening the gap in
 the later, smaller layers.
@@ -16,12 +21,8 @@ from typing import Dict, List
 
 from repro.analysis.aggregate import geometric_mean
 from repro.analysis.reporting import format_table
-from repro.experiments.common import (
-    EVALUATED_NETWORKS,
-    PAPER_NETWORK_SPEEDUP,
-    cached_simulation,
-)
-from repro.scnn.simulator import NetworkSimulation
+from repro.arch.compare import NetworkComparison, compare_network
+from repro.experiments.common import EVALUATED_NETWORKS, PAPER_NETWORK_SPEEDUP
 
 
 @dataclass
@@ -45,16 +46,15 @@ class NetworkSpeedupReport:
     paper_speedup: float
 
 
-def _per_module_rows(simulation: NetworkSimulation) -> List[SpeedupRow]:
+def _per_module_rows(comparison: NetworkComparison) -> List[SpeedupRow]:
     rows = []
-    for module in simulation.modules():
-        speedups = simulation.module_speedup(module)
+    for module in comparison.modules():
         rows.append(
             SpeedupRow(
                 label=module,
                 dcnn=1.0,
-                scnn=speedups["SCNN"],
-                oracle=speedups["SCNN (oracle)"],
+                scnn=comparison.module_speedup(module, "SCNN"),
+                oracle=comparison.module_oracle_speedup(module),
             )
         )
     return rows
@@ -70,22 +70,22 @@ def run(
     """
     reports: Dict[str, NetworkSpeedupReport] = {}
     for name in networks:
-        simulation = cached_simulation(name, seed, engine=engine)
-        rows = _per_module_rows(simulation)
+        comparison = compare_network(name, seed=seed, engine=engine)
+        rows = _per_module_rows(comparison)
         rows.append(
             SpeedupRow(
                 label="all",
                 dcnn=1.0,
-                scnn=simulation.network_speedup,
-                oracle=simulation.oracle_network_speedup,
+                scnn=comparison.speedup("SCNN"),
+                oracle=comparison.oracle_speedup,
             )
         )
-        reports[simulation.network.name] = NetworkSpeedupReport(
-            network=simulation.network.name,
+        reports[comparison.network] = NetworkSpeedupReport(
+            network=comparison.network,
             rows=rows,
-            network_speedup=simulation.network_speedup,
-            oracle_speedup=simulation.oracle_network_speedup,
-            paper_speedup=PAPER_NETWORK_SPEEDUP.get(simulation.network.name, 0.0),
+            network_speedup=comparison.speedup("SCNN"),
+            oracle_speedup=comparison.oracle_speedup,
+            paper_speedup=PAPER_NETWORK_SPEEDUP.get(comparison.network, 0.0),
         )
     return reports
 
@@ -96,6 +96,7 @@ def average_speedup(reports: Dict[str, NetworkSpeedupReport]) -> float:
 
 
 def main() -> str:
+    """Print (and return) the Figure 8 tables for every evaluated network."""
     reports = run()
     sections = []
     for report in reports.values():

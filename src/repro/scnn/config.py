@@ -1,164 +1,34 @@
-"""Accelerator configurations (paper Tables II and IV).
+"""Accelerator configurations (paper Tables II and IV) — registry views.
 
-All three evaluated accelerators provision the same 1,024 multipliers so the
-comparison isolates the dataflow; they differ in on-chip storage, sparsity
-support and area.
+This module is the historical home of :class:`AcceleratorConfig` and of the
+SCNN / DCNN / DCNN-opt constants; both now live in the architecture
+subsystem (:mod:`repro.arch`), where every evaluated accelerator is declared
+once as an :class:`~repro.arch.spec.ArchitectureSpec` and served from the
+:func:`~repro.arch.registry.default_registry`.  The names below are straight
+re-exports of those registry-owned objects, so existing imports — and every
+cache fingerprint built from them — are unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Tuple
-
-from repro.dataflow.dataflows import (
-    PT_IS_CP_SPARSE,
-    PT_IS_DP_DENSE,
-    PT_IS_DP_DENSE_OPT,
-    Dataflow,
+from repro.arch.registry import (
+    DCNN_CONFIG,
+    DCNN_OPT_CONFIG,
+    SCNN_CONFIG,
+    SCNN_SPARSE_A_CONFIG,
+    SCNN_SPARSE_W_CONFIG,
 )
-from repro.dataflow.tiling import pe_grid_for
+from repro.arch.spec import AcceleratorConfig
 
-
-@dataclass(frozen=True)
-class AcceleratorConfig:
-    """Parameters of one accelerator instance.
-
-    The defaults of the SCNN instance follow Table II: an 8x8 array of PEs,
-    each with a 4x4 multiplier array, 32 accumulator banks of 32 entries,
-    10KB IARAM + 10KB OARAM, and a 50-entry weight FIFO.
-    """
-
-    name: str
-    dataflow: Dataflow
-    num_pes: int = 64
-    multipliers_f: int = 4
-    multipliers_i: int = 4
-    output_channel_group: int = 8
-    accumulator_banks: int = 32
-    accumulator_bank_entries: int = 32
-    iaram_bytes: int = 10 * 1024
-    oaram_bytes: int = 10 * 1024
-    weight_fifo_entries: int = 50
-    weight_fifo_bytes: int = 500
-    multiplier_bits: int = 16
-    accumulator_bits: int = 24
-    index_bits: int = 4
-    clock_ghz: float = 1.0
-    dense_sram_bytes: int = 0  # dense accelerators: monolithic activation SRAM
-    # Fixed per-output-channel-group costs.  The paper treats the PPU drain,
-    # compression and halo exchange as fully hidden behind the (double
-    # buffered) compute of the next group, so both default to zero; they are
-    # exposed as parameters for sensitivity studies.
-    barrier_overhead_cycles: int = 0
-    drain_overhead_cycles: int = 0
-
-    def __post_init__(self) -> None:
-        positive_fields = (
-            "num_pes",
-            "multipliers_f",
-            "multipliers_i",
-            "output_channel_group",
-            "accumulator_banks",
-            "accumulator_bank_entries",
-        )
-        for field_name in positive_fields:
-            if getattr(self, field_name) <= 0:
-                raise ValueError(f"{field_name} must be positive")
-
-    # -- derived quantities -----------------------------------------------------
-
-    @property
-    def multipliers_per_pe(self) -> int:
-        return self.multipliers_f * self.multipliers_i
-
-    @property
-    def total_multipliers(self) -> int:
-        return self.num_pes * self.multipliers_per_pe
-
-    @property
-    def pe_grid(self) -> Tuple[int, int]:
-        return pe_grid_for(self.num_pes)
-
-    @property
-    def activation_sram_bytes(self) -> int:
-        """Total on-chip activation storage (both RAMs, across all PEs)."""
-        if self.dense_sram_bytes:
-            return self.dense_sram_bytes
-        return self.num_pes * (self.iaram_bytes + self.oaram_bytes)
-
-    @property
-    def activation_index_bytes(self) -> int:
-        """Index (coordinate) storage carried alongside the activation RAMs.
-
-        The run-length encoding stores one ``index_bits``-wide zero-run count
-        per stored 16-bit value, i.e. ``index_bits / 16`` of the data
-        capacity — reported as 0.2MB for the ~1MB of activation data in the
-        paper's Table II.
-        """
-        if self.dense_sram_bytes:
-            return 0
-        return int(self.activation_sram_bytes * self.index_bits / 16)
-
-    @property
-    def is_sparse(self) -> bool:
-        return self.dataflow.is_sparse
-
-    @property
-    def peak_ops_per_cycle(self) -> int:
-        """Multiply + add pairs issued per cycle at full utilization."""
-        return self.total_multipliers
-
-    def with_pe_count(self, num_pes: int) -> "AcceleratorConfig":
-        """Rescale the PE count at constant total multiplier throughput.
-
-        Used by the Section VI-C granularity study: the chip-wide multiplier
-        count stays at ``total_multipliers`` while the PE count changes, so
-        each PE's F x I array grows or shrinks accordingly (square-ish F x I
-        split, biased towards F when the split is uneven).
-        """
-        total = self.total_multipliers
-        if total % num_pes:
-            raise ValueError(
-                f"{total} multipliers cannot be split evenly across {num_pes} PEs"
-            )
-        per_pe = total // num_pes
-        f = int(per_pe**0.5)
-        while per_pe % f:
-            f -= 1
-        i = per_pe // f
-        if f < i:
-            f, i = i, f
-        return replace(
-            self,
-            name=f"{self.name}-{num_pes}PE",
-            num_pes=num_pes,
-            multipliers_f=f,
-            multipliers_i=i,
-            accumulator_banks=2 * per_pe,
-        )
-
-
-SCNN_CONFIG = AcceleratorConfig(name="SCNN", dataflow=PT_IS_CP_SPARSE)
-
-DCNN_CONFIG = AcceleratorConfig(
-    name="DCNN",
-    dataflow=PT_IS_DP_DENSE,
-    iaram_bytes=0,
-    oaram_bytes=0,
-    weight_fifo_entries=50,
-    dense_sram_bytes=2 * 1024 * 1024,
-    index_bits=0,
-)
-
-DCNN_OPT_CONFIG = AcceleratorConfig(
-    name="DCNN-opt",
-    dataflow=PT_IS_DP_DENSE_OPT,
-    iaram_bytes=0,
-    oaram_bytes=0,
-    weight_fifo_entries=50,
-    dense_sram_bytes=2 * 1024 * 1024,
-    index_bits=0,
-)
+__all__ = [
+    "AcceleratorConfig",
+    "DCNN_CONFIG",
+    "DCNN_OPT_CONFIG",
+    "SCNN_CONFIG",
+    "SCNN_SPARSE_A_CONFIG",
+    "SCNN_SPARSE_W_CONFIG",
+    "scnn_with_pe_count",
+]
 
 
 def scnn_with_pe_count(num_pes: int) -> AcceleratorConfig:

@@ -16,10 +16,11 @@ dot-product steps; the ``I`` lanes of the multiplier array are filled across
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.arch.registry import resolve_config
 from repro.dataflow.tiling import TilingPlan, plan_layer
 from repro.nn.layers import ConvLayerSpec
 from repro.scnn.config import AcceleratorConfig, DCNN_CONFIG
@@ -40,15 +41,17 @@ class DenseLayerResult:
 
 def simulate_dcnn_layer(
     spec: ConvLayerSpec,
-    config: AcceleratorConfig = DCNN_CONFIG,
+    config: Union[AcceleratorConfig, str] = DCNN_CONFIG,
     *,
     plan: Optional[TilingPlan] = None,
 ) -> DenseLayerResult:
     """Cycle count of one layer on the dense baseline.
 
     Only the layer shape matters — the dense dataflow performs every multiply
-    regardless of operand values.
+    regardless of operand values.  ``config`` accepts a registered
+    architecture name (e.g. ``"DCNN-opt"``) in place of a config object.
     """
+    config = resolve_config(config)
     if plan is None:
         pe_rows, pe_cols = config.pe_grid
         plan = plan_layer(

@@ -24,14 +24,17 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.arch.registry import get_architecture, resolve_config
+from repro.arch.spec import AcceleratorConfig
 from repro.nn.inference import LayerWorkload, build_network_workloads
 from repro.nn.networks import Network
-from repro.scnn.config import (
-    AcceleratorConfig,
-    DCNN_CONFIG,
-    DCNN_OPT_CONFIG,
-    SCNN_CONFIG,
-)
+
+# The canonical trio, consumed from the architecture registry — the same
+# objects `repro.scnn.config` re-exports, so fingerprints and results are
+# unchanged.
+SCNN_CONFIG = get_architecture("SCNN").config
+DCNN_CONFIG = get_architecture("DCNN").config
+DCNN_OPT_CONFIG = get_architecture("DCNN-opt").config
 from repro.scnn.cycles import LayerCycleResult, simulate_layer_cycles
 from repro.scnn.dcnn import DenseLayerResult, simulate_dcnn_layer
 from repro.scnn.oracle import nonzero_multiplies, oracle_cycles
@@ -178,7 +181,15 @@ def simulate_layer(
     output_density: Optional[float] = None,
     include_oracle: bool = True,
 ) -> LayerSimulation:
-    """Simulate one layer on SCNN, DCNN and DCNN-opt."""
+    """Simulate one layer on SCNN, DCNN and DCNN-opt.
+
+    The three ``*_config`` parameters also accept registered architecture
+    names (resolved through :mod:`repro.arch.registry`), so callers can say
+    ``scnn_config="SCNN-SparseA"`` without touching config objects.
+    """
+    scnn_config = resolve_config(scnn_config, parameter="scnn_config")
+    dcnn_config = resolve_config(dcnn_config, parameter="dcnn_config")
+    dcnn_opt_config = resolve_config(dcnn_opt_config, parameter="dcnn_opt_config")
     spec = workload.spec
     scnn = simulate_layer_cycles(
         spec, workload.weights, workload.activations, scnn_config

@@ -14,8 +14,10 @@ and every built-in scenario routes through the shared
 same scenario are served from the engine's content-addressed cache.
 
 :func:`default_registry` registers the repo's catalogue: single-layer and
-full-network simulation, the DSE sweep, and the paper-figure regenerations
-(Figure 8, Figure 10, Table II) adapted from :mod:`repro.experiments`.
+full-network simulation, the DSE sweep, the paper-figure regenerations
+(Figure 8, Figure 10, Table II) adapted from :mod:`repro.experiments`, and
+the cross-architecture ``compare`` sweep over the architecture registry
+(:mod:`repro.arch`).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.serialization import (
+    comparison_payload,
     design_points_payload,
     engine_run_payload,
     simulation_payload,
@@ -266,6 +269,33 @@ def _run_table2(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
     return table2_design_params.payload()
 
 
+def _run_compare(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
+    from repro.arch.compare import compare_networks
+    from repro.arch.registry import get_architecture
+
+    # Architecture names are validated against the *live* registry here (not
+    # frozen into the parameter schema), so names registered after the
+    # service booted are accepted; unknown names fail with the registry's
+    # catalogue-listing message before any simulation work starts.
+    try:
+        for name in params["architectures"]:
+            get_architecture(name)
+    except KeyError as error:
+        raise ScenarioError(error.args[0]) from None
+    comparisons = compare_networks(
+        params["networks"],
+        params["architectures"],
+        seed=params["seed"],
+        engine=engine,
+    )
+    return {
+        "comparisons": {
+            name: comparison_payload(comparison)
+            for name, comparison in comparisons.items()
+        }
+    }
+
+
 def default_registry() -> ScenarioRegistry:
     """The repo's scenario catalogue, freshly constructed."""
     seed = Parameter("seed", "int", "workload generation seed", default=0)
@@ -335,6 +365,26 @@ def default_registry() -> ScenarioRegistry:
             "table2",
             "Regenerate Table II: the SCNN design parameters vs the paper.",
             _run_table2,
+        )
+    )
+    registry.register(
+        Scenario(
+            "compare",
+            "Cross-architecture comparison sweep: speedup and energy of any "
+            "registered architectures relative to the DCNN baseline.",
+            _run_compare,
+            (
+                networks,
+                Parameter(
+                    "architectures",
+                    "list[str]",
+                    "registered architectures to compare (checked against "
+                    "the live registry at run time; see "
+                    "`repro compare --list`)",
+                    default=["DCNN", "DCNN-opt", "SCNN"],
+                ),
+                seed,
+            ),
         )
     )
     return registry

@@ -10,14 +10,10 @@ interconnect area proportional to count).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Union
 
-from repro.scnn.config import (
-    AcceleratorConfig,
-    DCNN_CONFIG,
-    DCNN_OPT_CONFIG,
-    SCNN_CONFIG,
-)
+from repro.arch.registry import default_registry, resolve_config
+from repro.scnn.config import AcceleratorConfig, SCNN_CONFIG
 
 # Table III: SCNN PE area breakdown (mm^2, TSMC 16nm).
 PE_AREA_BREAKDOWN: Dict[str, float] = {
@@ -44,8 +40,15 @@ _DENSE_SRAM_MM2_PER_MB = 1.55
 _DENSE_PE_MM2 = (5.9 - 2.0 * _DENSE_SRAM_MM2_PER_MB) / 64.0
 
 
-def pe_area_breakdown(config: AcceleratorConfig = SCNN_CONFIG) -> Dict[str, float]:
-    """Per-structure area of one PE of ``config`` (mm^2)."""
+def pe_area_breakdown(
+    config: Union[AcceleratorConfig, str] = SCNN_CONFIG
+) -> Dict[str, float]:
+    """Per-structure area of one PE of ``config`` (mm^2).
+
+    ``config`` accepts a registered architecture name (resolved through
+    :mod:`repro.arch.registry`) in place of a config object.
+    """
+    config = resolve_config(config)
     if not config.is_sparse:
         return {"PE (dense datapath + RAM slice)": _DENSE_PE_MM2}
     activation_kb = (config.iaram_bytes + config.oaram_bytes) / 1024.0
@@ -70,13 +73,14 @@ def pe_area_breakdown(config: AcceleratorConfig = SCNN_CONFIG) -> Dict[str, floa
     }
 
 
-def pe_area_mm2(config: AcceleratorConfig = SCNN_CONFIG) -> float:
+def pe_area_mm2(config: Union[AcceleratorConfig, str] = SCNN_CONFIG) -> float:
     """Total area of one PE (mm^2)."""
     return sum(pe_area_breakdown(config).values())
 
 
-def accelerator_area_mm2(config: AcceleratorConfig) -> float:
+def accelerator_area_mm2(config: Union[AcceleratorConfig, str]) -> float:
     """Total accelerator area (mm^2): PEs plus any shared dense SRAM."""
+    config = resolve_config(config)
     area = config.num_pes * pe_area_mm2(config)
     if config.dense_sram_bytes:
         area += (config.dense_sram_bytes / (1024.0 * 1024.0)) * _DENSE_SRAM_MM2_PER_MB
@@ -95,9 +99,18 @@ class ConfigurationRow:
 
 
 def table_iv_configurations() -> List[ConfigurationRow]:
-    """The three accelerator configurations of Table IV."""
+    """The accelerator configurations of Table IV, from the registry.
+
+    Iterates the architecture registry's ``table4``-tagged specs in
+    registration order (DCNN, DCNN-opt, SCNN — the paper's presentation
+    order), so registering a new Table IV variant extends this table without
+    code changes.
+    """
     rows = []
-    for config in (DCNN_CONFIG, DCNN_OPT_CONFIG, SCNN_CONFIG):
+    for spec in default_registry():
+        if "table4" not in spec.tags:
+            continue
+        config = spec.config
         rows.append(
             ConfigurationRow(
                 name=config.name,

@@ -14,8 +14,9 @@ stated in picojoules for readability but only their ratios matter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
+from repro.arch.registry import resolve_config
 from repro.nn.layers import ConvLayerSpec
 from repro.scnn.config import AcceleratorConfig, SCNN_CONFIG
 
@@ -95,7 +96,7 @@ def _activation_fits_on_chip(
 
 def count_layer_events(
     spec: ConvLayerSpec,
-    config: AcceleratorConfig,
+    config: Union[AcceleratorConfig, str],
     *,
     weight_density: float,
     activation_density: float,
@@ -109,8 +110,10 @@ def count_layer_events(
     ``products`` (multiplies with both operands non-zero) and
     ``weight_buffer_reads`` may come from the cycle-level simulation when
     available; otherwise they are estimated analytically from the densities,
-    which is what the TimeLoop sweep does.
+    which is what the TimeLoop sweep does.  ``config`` accepts a registered
+    architecture name (resolved through :mod:`repro.arch.registry`).
     """
+    config = resolve_config(config)
     dense_macs = spec.multiplies
     weight_values = spec.weight_count
     input_values = spec.input_activation_count
@@ -182,10 +185,11 @@ def count_layer_events(
 
 def layer_energy(
     events: EventCounts,
-    config: AcceleratorConfig,
+    config: Union[AcceleratorConfig, str],
     table: EnergyTable = DEFAULT_ENERGY_TABLE,
 ) -> EnergyBreakdown:
     """Convert event counts into an energy breakdown."""
+    config = resolve_config(config)
     components = {
         "multiplier": events.multiplies * table.multiply,
         "accumulator": events.accumulator_updates * table.accumulator_update,
@@ -207,7 +211,7 @@ def layer_energy(
 
 def layer_energy_from_densities(
     spec: ConvLayerSpec,
-    config: AcceleratorConfig,
+    config: Union[AcceleratorConfig, str],
     *,
     weight_density: float,
     activation_density: float,

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Union
 
 import numpy as np
 
+from repro.arch.registry import resolve_config
 from repro.dataflow.tiling import plan_layer
 from repro.nn.layers import ConvLayerSpec
 from repro.scnn.accumulator import expected_conflict_cycles
@@ -74,9 +76,14 @@ def estimate_scnn_layer(
     *,
     weight_density: float,
     activation_density: float,
-    config: AcceleratorConfig = SCNN_CONFIG,
+    config: Union[AcceleratorConfig, str] = SCNN_CONFIG,
 ) -> AnalyticalLayerEstimate:
-    """Expected SCNN cycles for one layer at the given operand densities."""
+    """Expected SCNN cycles for one layer at the given operand densities.
+
+    ``config`` accepts a registered architecture name (resolved through
+    :mod:`repro.arch.registry`) in place of a config object.
+    """
+    config = resolve_config(config)
     if not 0.0 < weight_density <= 1.0:
         raise ValueError(f"weight_density must be in (0, 1], got {weight_density}")
     if not 0.0 < activation_density <= 1.0:
@@ -159,9 +166,10 @@ def estimate_scnn_layer(
 
 def estimate_dense_layer(
     spec: ConvLayerSpec,
-    config: AcceleratorConfig = DCNN_CONFIG,
+    config: Union[AcceleratorConfig, str] = DCNN_CONFIG,
 ) -> AnalyticalLayerEstimate:
     """Expected dense-baseline cycles (density independent)."""
+    config = resolve_config(config)
     result = simulate_dcnn_layer(spec, config)
     return AnalyticalLayerEstimate(
         spec_name=spec.name,
@@ -178,8 +186,9 @@ def estimate_oracle_cycles(
     *,
     weight_density: float,
     activation_density: float,
-    config: AcceleratorConfig = SCNN_CONFIG,
+    config: Union[AcceleratorConfig, str] = SCNN_CONFIG,
 ) -> float:
     """Oracle cycles at the given densities (work / peak throughput)."""
+    config = resolve_config(config)
     products = spec.multiplies * weight_density * activation_density
     return max(1.0, products / config.total_multipliers)

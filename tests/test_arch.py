@@ -1,0 +1,214 @@
+"""Tests for the architecture subsystem (repro.arch).
+
+Covers the registry catalogue and its validation errors, the declarative
+specs, the simulator adapters' common interface, and the engine's
+cross-architecture grid.
+"""
+
+import pickle
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    ArchitectureRegistry,
+    ArchitectureSpec,
+    available_architectures,
+    compare_network,
+    default_registry,
+    get_architecture,
+    resolve_config,
+)
+from repro.arch.adapters import (
+    available_adapters,
+    effective_densities,
+    get_adapter,
+)
+from repro.engine import SimulationEngine
+from repro.nn.layers import ConvLayerSpec
+from repro.scnn.config import DCNN_CONFIG, SCNN_CONFIG
+from repro.scnn.cycles import simulate_layer_cycles
+from repro.scnn.dcnn import simulate_dcnn_layer
+
+from _helpers import make_workload
+
+
+@pytest.fixture
+def workload():
+    spec = ConvLayerSpec("conv", 32, 32, 14, 14, 3, 3, padding=1)
+    return make_workload(spec, weight_density=0.4, activation_density=0.5)
+
+
+class TestRegistry:
+    def test_catalogue_covers_the_paper(self):
+        names = available_architectures()
+        assert {"SCNN", "DCNN", "DCNN-opt", "SCNN-SparseW", "SCNN-SparseA"} <= set(
+            names
+        )
+        # Section VI-C granularity variants ride along.
+        assert {"SCNN-16PE", "SCNN-4PE"} <= set(names)
+
+    def test_canonical_configs_are_the_registry_objects(self):
+        """scnn.config re-exports the very objects the registry serves."""
+        assert get_architecture("SCNN").config is SCNN_CONFIG
+        assert get_architecture("DCNN").config is DCNN_CONFIG
+
+    def test_unknown_architecture_lists_known_ones(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_architecture("TPU")
+        message = str(excinfo.value)
+        assert "unknown architecture 'TPU'" in message
+        for name in available_architectures():
+            assert repr(name) in message
+
+    def test_duplicate_registration_rejected(self):
+        registry = ArchitectureRegistry()
+        spec = get_architecture("SCNN")
+        registry.register(spec)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(spec)
+
+    def test_describe_is_json_able(self):
+        import json
+
+        json.dumps(default_registry().describe())
+
+    def test_registering_a_variant_is_a_data_change(self):
+        registry = ArchitectureRegistry()
+        config = replace(SCNN_CONFIG, name="SCNN-A64", accumulator_banks=64)
+        spec = ArchitectureSpec(
+            name="SCNN-A64", config=config, adapter="cartesian-sparse"
+        )
+        registry.register(spec)
+        assert "SCNN-A64" in registry
+        assert registry.get("SCNN-A64").config.accumulator_banks == 64
+
+
+class TestSpecValidation:
+    def test_name_must_match_config_name(self):
+        with pytest.raises(ValueError, match="must match its config name"):
+            ArchitectureSpec(
+                name="other", config=SCNN_CONFIG, adapter="cartesian-sparse"
+            )
+
+    def test_adapter_required(self):
+        with pytest.raises(ValueError, match="names no adapter"):
+            ArchitectureSpec(name="SCNN", config=SCNN_CONFIG, adapter="")
+
+    def test_specs_pickle_round_trip(self):
+        spec = get_architecture("SCNN-SparseW")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestResolveConfig:
+    def test_name_resolves_through_registry(self):
+        assert resolve_config("DCNN-opt") is get_architecture("DCNN-opt").config
+
+    def test_config_objects_pass_through(self):
+        assert resolve_config(SCNN_CONFIG) is SCNN_CONFIG
+
+    def test_unknown_name_lists_catalogue(self):
+        with pytest.raises(KeyError, match="registered architectures"):
+            resolve_config("Eyeriss")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="AcceleratorConfig"):
+            resolve_config(42)
+
+    def test_simulators_accept_names(self, workload):
+        by_name = simulate_dcnn_layer(workload.spec, "DCNN")
+        by_config = simulate_dcnn_layer(workload.spec, DCNN_CONFIG)
+        assert by_name.cycles == by_config.cycles
+
+
+class TestAdapters:
+    def test_adapter_catalogue(self):
+        assert available_adapters() == ["cartesian-sparse", "dot-product-dense"]
+        with pytest.raises(KeyError, match="unknown simulator adapter"):
+            get_adapter("hls")
+
+    def test_sparse_adapter_matches_core_model_for_scnn(self, workload):
+        result = get_adapter("cartesian-sparse").simulate_layer(
+            workload, SCNN_CONFIG
+        )
+        reference = simulate_layer_cycles(
+            workload.spec, workload.weights, workload.activations, SCNN_CONFIG
+        )
+        assert result.cycles == reference.cycles
+        assert result.operations == reference.products
+        assert result.weight_vector_fetches == reference.weight_vector_fetches
+
+    def test_dense_adapter_matches_dcnn_model(self, workload):
+        result = get_adapter("dot-product-dense").simulate_layer(
+            workload, DCNN_CONFIG
+        )
+        reference = simulate_dcnn_layer(workload.spec, DCNN_CONFIG)
+        assert result.cycles == reference.cycles
+        assert result.operations == reference.multiplies
+        assert result.weight_vector_fetches is None
+
+    def test_single_operand_ablations_bracketed_by_scnn_and_dense(self, workload):
+        """Skipping one operand is slower than SCNN, faster than dense."""
+        scnn = get_adapter("cartesian-sparse").simulate_layer(
+            workload, SCNN_CONFIG
+        )
+        sparse_w = get_adapter("cartesian-sparse").simulate_layer(
+            workload, get_architecture("SCNN-SparseW").config
+        )
+        sparse_a = get_adapter("cartesian-sparse").simulate_layer(
+            workload, get_architecture("SCNN-SparseA").config
+        )
+        dense_equivalent = simulate_layer_cycles(
+            workload.spec,
+            np.ones_like(workload.weights),
+            np.ones_like(workload.activations),
+            SCNN_CONFIG,
+        )
+        assert scnn.cycles <= sparse_w.cycles <= dense_equivalent.cycles
+        assert scnn.cycles <= sparse_a.cycles <= dense_equivalent.cycles
+
+    def test_effective_densities_follow_dataflow_flags(self):
+        assert effective_densities(SCNN_CONFIG, 0.3, 0.4, 0.5) == (0.3, 0.4, 0.5)
+        sparse_w = get_architecture("SCNN-SparseW").config
+        assert effective_densities(sparse_w, 0.3, 0.4, 0.5) == (0.3, 1.0, 1.0)
+        sparse_a = get_architecture("SCNN-SparseA").config
+        assert effective_densities(sparse_a, 0.3, 0.4, 0.5) == (1.0, 0.4, 0.5)
+
+
+class TestEngineArchitectureGrid:
+    def test_grid_accepts_names_and_specs(self, workload):
+        engine = SimulationEngine(cache_dir=False)
+        run = engine.run_architectures(
+            [workload], ["SCNN", get_architecture("DCNN")]
+        )
+        assert [spec.name for spec in run.architectures] == ["SCNN", "DCNN"]
+        scnn = run.column("SCNN")[0]
+        assert scnn.cycles == simulate_layer_cycles(
+            workload.spec, workload.weights, workload.activations, SCNN_CONFIG
+        ).cycles
+        assert run.column("DCNN")[0].cycles == simulate_dcnn_layer(
+            workload.spec, DCNN_CONFIG
+        ).cycles
+
+    def test_unknown_column_lists_evaluated_architectures(self, workload):
+        engine = SimulationEngine(cache_dir=False)
+        run = engine.run_architectures([workload], ["SCNN"])
+        with pytest.raises(KeyError) as excinfo:
+            run.column("DCNN")
+        assert "this run evaluated: 'SCNN'" in str(excinfo.value)
+
+    def test_grid_results_served_from_cache(self, workload, tmp_path):
+        engine = SimulationEngine(cache_dir=tmp_path)
+        first = engine.run_architectures([workload], ["SCNN-SparseW"])
+        warm = SimulationEngine(cache_dir=tmp_path)
+        second = warm.run_architectures([workload], ["SCNN-SparseW"])
+        assert warm.disk_cache.hits == 1
+        assert first.column("SCNN-SparseW")[0] == second.column("SCNN-SparseW")[0]
+
+
+class TestCompareValidation:
+    def test_unknown_architecture_fails_fast(self):
+        engine = SimulationEngine(cache_dir=False)
+        with pytest.raises(KeyError, match="unknown architecture 'NPU'"):
+            compare_network("alexnet", ["NPU"], engine=engine)

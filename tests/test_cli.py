@@ -64,6 +64,34 @@ class TestServiceDispatch:
         assert not set(cli.SERVICE_COMMANDS) & set(cli.EXPERIMENTS)
 
 
+class TestCompareDispatch:
+    def test_compare_routes_to_the_compare_cli(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            "repro.experiments.compare.compare_main",
+            lambda argv: calls.append(argv) or 0,
+        )
+        assert cli.main(["compare", "--networks", "alexnet"]) == 0
+        assert calls == [["--networks", "alexnet"]]
+
+    def test_compare_is_not_an_experiment_id(self):
+        assert cli.COMPARE_COMMAND not in cli.EXPERIMENTS
+
+    def test_compare_list_flag(self, capsys):
+        from repro.experiments.compare import compare_main
+
+        assert compare_main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "SCNN-SparseW" in output
+        assert "Section VI-C" in output
+
+    def test_compare_unknown_architecture_exit_code(self, capsys):
+        from repro.experiments.compare import compare_main
+
+        assert compare_main(["--architectures", "TPU"]) == 2
+        assert "unknown architecture" in capsys.readouterr().err
+
+
 class TestMain:
     def test_list_exit_code(self, capsys):
         assert cli.main(["--list"]) == 0

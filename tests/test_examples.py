@@ -34,6 +34,7 @@ class TestExamples:
             "pruning_sensitivity",
             "reproduce_paper",
             "service_client",
+            "compare_architectures",
         } <= names
 
     def test_quickstart(self, capsys):
@@ -73,9 +74,18 @@ class TestExamples:
         assert "DSE sweep via the service" in output
         assert "cache hit-rate" in output
 
+    def test_compare_architectures(self, capsys):
+        load_example("compare_architectures").main()
+        output = capsys.readouterr().out
+        assert "Architecture registry catalogue" in output
+        assert "SCNN-SparseW" in output
+        assert "SCNN-A64" in output
+        assert "one registration" in output
+
     def test_reproduce_paper_lists_every_experiment(self):
         module = load_example("reproduce_paper")
         titles = [title for title, _ in module.EXPERIMENTS]
-        assert len(titles) == 11
+        assert len(titles) == 12
         assert any("Figure 8" in title for title in titles)
         assert any("Table III" in title for title in titles)
+        assert any("Cross-architecture comparison" in title for title in titles)

@@ -85,6 +85,43 @@ class TestPruneToDensity:
         assert np.count_nonzero(pruned) == 1
 
 
+class TestZeroDensityAndDegenerateShapes:
+    """Edge cases: layers with no non-zeros and degenerate tile shapes."""
+
+    def test_all_zero_tensor_prunes_to_all_zero(self, rng):
+        weights = np.zeros(64)
+        pruned = prune_to_density(weights, 0.25, rng)
+        assert pruned.shape == weights.shape
+        assert np.count_nonzero(pruned) == 0
+        assert measured_density(pruned) == 0.0
+
+    def test_empty_tensor_round_trips(self, rng):
+        weights = np.zeros((0,))
+        pruned = prune_to_density(weights, 0.5, rng)
+        assert pruned.size == 0
+        assert measured_density(pruned) == 0.0
+
+    def test_one_by_one_filter_layer(self, rng):
+        """A 1x1x1 filter is the degenerate tile shape: one weight total."""
+        tiny = ConvLayerSpec("tiny", 1, 1, 1, 1, 1, 1)
+        weights = generate_dense_weights(tiny, rng)
+        assert weights.shape == (1, 1, 1, 1)
+        pruned = prune_to_density(weights, 0.5, rng)
+        # The keep-at-least-one guard applies: the single weight survives.
+        assert np.count_nonzero(pruned) == 1
+
+    def test_single_element_keeps_value(self, rng):
+        weights = np.array([[3.25]])
+        pruned = prune_to_density(weights, 0.01, rng)
+        np.testing.assert_array_equal(pruned, weights)
+
+    def test_zero_density_rejected_with_message(self, rng):
+        with pytest.raises(ValueError, match="density must be in"):
+            prune_to_density(np.ones(4), 0.0, rng)
+        with pytest.raises(ValueError, match="density must be in"):
+            prune_to_density(np.ones(4), -0.1, rng)
+
+
 class TestGeneratePrunedWeights:
     def test_density_and_shape(self, spec, rng):
         weights = generate_pruned_weights(spec, 0.35, rng)

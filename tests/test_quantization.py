@@ -108,6 +108,56 @@ class TestAccumulatorHeadroom:
         assert not report.overflows
         assert report.worst_case_sum == 0.0
 
+    def test_zero_density_layer_has_infinite_headroom(self):
+        """A fully pruned (zero-density) layer can never overflow."""
+        spec = ConvLayerSpec("pruned-out", 8, 8, 6, 6, 3, 3, padding=1)
+        report = accumulator_headroom(
+            spec, np.zeros(spec.weight_shape), np.ones(spec.input_shape)
+        )
+        assert not report.overflows
+        assert report.worst_case_sum == 0.0
+        assert report.headroom_bits == float("inf")
+
+    def test_degenerate_one_by_one_layer(self):
+        """The 1x1x1 tile shape: reduction depth 1, single weight/activation."""
+        spec = ConvLayerSpec("tiny", 1, 1, 1, 1, 1, 1)
+        report = accumulator_headroom(
+            spec, np.full(spec.weight_shape, 0.5), np.full(spec.input_shape, 0.5)
+        )
+        assert not report.overflows
+        assert report.worst_case_sum == pytest.approx(0.25)
+
+    def test_empty_operand_arrays(self):
+        """Zero-sized operands report zero worst case rather than raising."""
+        spec = ConvLayerSpec("z", 4, 4, 6, 6, 3, 3, padding=1)
+        report = accumulator_headroom(
+            spec, np.zeros((0,)), np.zeros((0,))
+        )
+        assert not report.overflows
+        assert report.worst_case_sum == 0.0
+
+
+class TestQuantizeEdgeCases:
+    def test_empty_tensor_quantizes_to_empty(self):
+        quantized = quantize(np.zeros((0,)), WEIGHT_FORMAT)
+        assert quantized.size == 0
+        assert quantization_error(np.zeros((0,)), WEIGHT_FORMAT) == 0.0
+
+    def test_all_zero_tensor_unchanged(self):
+        data = np.zeros((3, 3))
+        quantized = quantize(data, ACTIVATION_FORMAT)
+        np.testing.assert_array_equal(quantized, data)
+        assert quantization_error(data, ACTIVATION_FORMAT) == 0.0
+
+    def test_zero_density_workload_pattern_preserved(self):
+        """Quantizing a fully-pruned workload keeps every zero exactly zero."""
+        spec = ConvLayerSpec("pruned-out", 4, 4, 6, 6, 3, 3, padding=1)
+        quantized_w, quantized_a = quantize_workload(
+            np.zeros(spec.weight_shape), np.zeros(spec.input_shape)
+        )
+        assert np.count_nonzero(quantized_w) == 0
+        assert np.count_nonzero(quantized_a) == 0
+
 
 @given(
     st.lists(

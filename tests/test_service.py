@@ -182,6 +182,7 @@ class TestScenarios:
         registry = default_registry()
         assert set(registry.names()) == {
             "layer", "network", "dse_sweep", "fig8", "fig10", "table2",
+            "compare",
         }
         catalogue = registry.describe()
         json.dumps(catalogue)  # schema documents must be JSON-serializable
@@ -217,6 +218,18 @@ class TestScenarios:
         ]
         with pytest.raises(ScenarioError, match="must be one of"):
             scenario.validate({"networks": ["alexnet", "resnet"]})
+
+    def test_compare_scenario_validates_architectures(self):
+        scenario = default_registry().get("compare")
+        params = scenario.validate({"architectures": "SCNN,SCNN-SparseW"})
+        assert params["architectures"] == ["SCNN", "SCNN-SparseW"]
+        assert params["networks"] == ["alexnet", "googlenet", "vggnet"]
+        # Names are checked against the *live* architecture registry when the
+        # scenario runs (so runtime-registered variants are accepted), with
+        # the catalogue-listing error surfacing before any simulation work.
+        engine = SimulationEngine(cache_dir=False)
+        with pytest.raises(ScenarioError, match="unknown architecture 'TPU'"):
+            scenario.run(engine, {"architectures": ["TPU"]})
 
     def test_unknown_scenario_names_the_catalogue(self):
         with pytest.raises(ScenarioError, match="available: .*network"):
@@ -278,6 +291,24 @@ class TestServiceEndToEnd:
         assert stats["queue"]["depth"] == 0
         assert stats["workers"]["num_workers"] == 4
         assert stats["engine"]["hit_rate"] == 0.0
+
+    def test_compare_scenario_end_to_end(self, service_client):
+        """The compare scenario round-trips and matches the in-process sweep."""
+        from repro.analysis.serialization import comparison_payload
+        from repro.arch.compare import compare_network
+
+        client, server = service_client
+        payload = client.run(
+            "compare",
+            {"networks": ["alexnet"], "architectures": ["DCNN", "SCNN"]},
+            timeout=300.0,
+        )
+        local = comparison_payload(
+            compare_network(
+                "alexnet", ["DCNN", "SCNN"], engine=server.service.engine
+            )
+        )
+        assert payload["comparisons"]["AlexNet"] == local
 
     def test_concurrent_jobs_bitwise_identical_to_serial_paths(
         self, service_client
