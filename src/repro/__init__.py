@@ -9,6 +9,9 @@ The public API exposes, in dependency order:
 
 * ``repro.tensor`` — the compressed-sparse encodings,
 * ``repro.nn`` — the network catalogues, pruning and workload generation,
+* ``repro.workloads`` — the workload registry: every network as a
+  declarative spec (builder + density profile + provenance), parametric
+  synthetic generators and the density-profile library,
 * ``repro.dataflow`` — loop nests, tiling and dataflow descriptions,
 * ``repro.arch`` — the architecture registry: every accelerator variant as
   a declarative spec bound to a simulator adapter, plus cross-architecture
@@ -64,16 +67,34 @@ from repro.timeloop import (
     layer_energy,
     pe_area_mm2,
 )
+from repro.workloads import (
+    DensityProfile,
+    WorkloadSpec,
+    available_profiles,
+    available_workloads,
+    get_profile,
+    get_workload,
+    register_profile,
+    register_workload,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorConfig",
     "ArchitectureSpec",
+    "DensityProfile",
+    "WorkloadSpec",
     "available_architectures",
+    "available_profiles",
+    "available_workloads",
     "compare_network",
     "default_registry",
     "get_architecture",
+    "get_profile",
+    "get_workload",
+    "register_profile",
+    "register_workload",
     "ConvLayerSpec",
     "DCNN_CONFIG",
     "DCNN_OPT_CONFIG",

@@ -261,16 +261,23 @@ def compare_network(
     *,
     seed: int = 0,
     baseline: str = "DCNN",
+    density_profile: Optional[str] = None,
     engine=None,
     energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
     parallel: Optional[int] = None,
 ) -> NetworkComparison:
     """Evaluate ``network`` on every requested architecture.
 
+    ``network`` accepts any registered workload name — the paper catalogue,
+    the synthetic zoo, or anything registered at runtime (see
+    :mod:`repro.workloads`) — or a :class:`Network` object.
     ``architectures`` defaults to the paper's headline trio
     (:data:`DEFAULT_COMPARISON`); any registered name is accepted, and the
-    baseline is always evaluated even when not listed.  ``engine`` overrides
-    the shared default :class:`~repro.engine.SimulationEngine` (the service's
+    baseline is always evaluated even when not listed.  ``density_profile``
+    names a registered :class:`~repro.workloads.profiles.DensityProfile`
+    that overrides the workload's own densities — the hook that makes
+    sparsity a swept axis of the comparison.  ``engine`` overrides the
+    shared default :class:`~repro.engine.SimulationEngine` (the service's
     ``compare`` scenario passes its own warm engine).
     """
     from repro.engine import default_engine
@@ -284,7 +291,16 @@ def compare_network(
     # simulation work starts.
     specs = {name: get_architecture(name) for name in names}
 
-    simulation = engine.run_network(network, seed=seed, energy_table=energy_table)
+    sparsity = None
+    if density_profile is not None:
+        from repro.workloads.profiles import get_profile
+        from repro.workloads.registry import resolve_network
+
+        network = resolve_network(network)
+        sparsity = get_profile(density_profile).table(network)
+    simulation = engine.run_network(
+        network, seed=seed, sparsity=sparsity, energy_table=energy_table
+    )
     variant_names = [name for name in names if name not in _CORE]
     variant_runs = {}
     if variant_names:
@@ -320,21 +336,51 @@ def compare_networks(
     *,
     seed: int = 0,
     baseline: str = "DCNN",
+    density_profile: Optional[str] = None,
     engine=None,
     energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
     parallel: Optional[int] = None,
 ) -> Dict[str, NetworkComparison]:
-    """Run :func:`compare_network` over several networks, keyed by name."""
-    comparisons: Dict[str, NetworkComparison] = {}
+    """Run :func:`compare_network` over several networks, keyed by name.
+
+    Results are keyed by each network's *display* name (what the reports
+    print).  Repeated requests for the same workload are deduplicated
+    (harmless, as before); two *distinct* workloads whose builders produce
+    the same display name would silently shadow each other, so that
+    collision is an error — give the builders distinct ``Network`` names.
+    """
+    seen_requests = set()
+    unique = []
     for network in networks:
+        request_key = (
+            network.strip().lower() if isinstance(network, str) else id(network)
+        )
+        if request_key in seen_requests:
+            continue
+        seen_requests.add(request_key)
+        unique.append(network)
+    comparisons: Dict[str, NetworkComparison] = {}
+    for network in unique:
         comparison = compare_network(
             network,
             architectures,
             seed=seed,
             baseline=baseline,
+            density_profile=density_profile,
             engine=engine,
             energy_table=energy_table,
             parallel=parallel,
         )
+        existing = comparisons.get(comparison.network)
+        if existing is not None:
+            if existing == comparison:
+                # Same workload requested under two spellings (name and
+                # Network object, or two equal objects): a harmless repeat.
+                continue
+            raise ValueError(
+                f"two requested workloads share the display name "
+                f"{comparison.network!r}; results would overwrite each other "
+                "— give their builders distinct Network names"
+            )
         comparisons[comparison.network] = comparison
     return comparisons

@@ -32,7 +32,7 @@ from repro.engine.parallel import parallel_map
 from repro.engine.workloads import WorkloadHandle
 from repro.nn.densities import LayerSparsity, network_sparsity
 from repro.nn.inference import LayerWorkload
-from repro.nn.networks import Network, get_network
+from repro.nn.networks import Network
 from repro.scnn.config import (
     AcceleratorConfig,
     DCNN_CONFIG,
@@ -98,6 +98,33 @@ def _design_point_task(
 ) -> DesignPoint:
     config, network, sparsity, table = task
     return evaluate_config(config, network, sparsity=sparsity, energy_table=table)
+
+
+def _resolve_network_and_sparsity(
+    network: Union[str, "Network"],
+    sparsity: Optional[Dict[str, LayerSparsity]],
+) -> Tuple["Network", Dict[str, LayerSparsity]]:
+    """Shared name/sparsity resolution of ``run_network`` and ``sweep``.
+
+    A workload *name* resolves through the registry (the spec's density
+    profile supplies the table unless the caller overrides it); a bare
+    :class:`Network` falls back to the measured Figure 1 calibration.
+    """
+    if isinstance(network, str):
+        from repro.workloads.registry import resolve_network, resolve_workload
+
+        if sparsity is None:
+            return resolve_workload(network)
+        network = resolve_network(network)
+    elif sparsity is None:
+        sparsity = network_sparsity(network)
+    missing = [spec.name for spec in network.layers if spec.name not in sparsity]
+    if missing:
+        raise KeyError(
+            f"sparsity table assigns no density to layer(s) "
+            f"{', '.join(map(repr, missing))} of {network.name}"
+        )
+    return network, sparsity
 
 
 def _architecture_layer_task(task):
@@ -319,6 +346,7 @@ class SimulationEngine:
         network: Union[str, Network],
         seed: int = 0,
         *,
+        sparsity: Optional[Dict[str, LayerSparsity]] = None,
         parallel: Optional[int] = None,
         scnn_config: AcceleratorConfig = SCNN_CONFIG,
         dcnn_config: AcceleratorConfig = DCNN_CONFIG,
@@ -331,10 +359,14 @@ class SimulationEngine:
         metrics are bitwise-identical — but cached and shardable: workload
         generation and the per-layer simulations fan out across the process
         pool, and a repeated request is served from the cache.
+
+        ``network`` accepts any registered workload name (resolved through
+        :mod:`repro.workloads.registry`, which also supplies the workload's
+        density profile) or a :class:`Network` object (measured Figure 1
+        calibration).  ``sparsity`` overrides the per-layer density table
+        either way — the hook the density-profile sweeps use.
         """
-        if isinstance(network, str):
-            network = get_network(network)
-        sparsity = network_sparsity(network)
+        network, sparsity = _resolve_network_and_sparsity(network, sparsity)
         key = fingerprint(
             "network-simulation",
             network=network,
@@ -492,12 +524,11 @@ class SimulationEngine:
 
         Drop-in replacement for :func:`repro.timeloop.dse.sweep`: the same
         analytical model evaluates each candidate, but candidates shard
-        across the pool and finished design points are cached.
+        across the pool and finished design points are cached.  ``network``
+        accepts any registered workload name (whose density profile supplies
+        ``sparsity`` unless overridden), like :meth:`run_network`.
         """
-        if isinstance(network, str):
-            network = get_network(network)
-        if sparsity is None:
-            sparsity = network_sparsity(network)
+        network, sparsity = _resolve_network_and_sparsity(network, sparsity)
         configs = list(configs)
         points: List[Optional[DesignPoint]] = [None] * len(configs)
         pending: List[Tuple[int, str]] = []

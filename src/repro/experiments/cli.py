@@ -11,9 +11,11 @@ on-disk cache so re-running an experiment with unchanged inputs is instant
 (``REPRO_CACHE_DIR`` sets the same root environment-wide; ``--no-cache``
 overrides both).
 
-Three subcommands are dispatched before experiment parsing: ``repro
+Four subcommands are dispatched before experiment parsing: ``repro
 compare`` runs cross-architecture comparison sweeps over the architecture
-registry (:mod:`repro.experiments.compare`), ``repro serve`` boots the HTTP
+registry (:mod:`repro.experiments.compare`), ``repro workloads`` lists the
+workload registry and its density profiles
+(:mod:`repro.experiments.workloads`), ``repro serve`` boots the HTTP
 service (:mod:`repro.service`) on one warm engine, and ``repro submit
 SCENARIO`` sends a scenario to a running service and prints the result JSON.
 """
@@ -60,6 +62,7 @@ EXPERIMENTS: Dict[str, tuple] = {
 # 8001` or `repro compare --list` never collide with experiment ids.
 SERVICE_COMMANDS = ("serve", "submit")
 COMPARE_COMMAND = "compare"
+WORKLOADS_COMMAND = "workloads"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,8 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the SCNN paper's tables and figures.",
         epilog="Subcommands: 'repro compare' sweeps registered accelerator "
-        "architectures against each other; 'repro serve' boots the HTTP "
-        "simulation service, 'repro submit SCENARIO' sends it work "
+        "architectures against each other; 'repro workloads' lists the "
+        "workload zoo and its density profiles; 'repro serve' boots the "
+        "HTTP simulation service, 'repro submit SCENARIO' sends it work "
         "(each accepts --help).",
     )
     parser.add_argument(
@@ -144,6 +148,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.experiments.compare import compare_main
 
         return compare_main(argv[1:])
+    if argv and argv[0] == WORKLOADS_COMMAND:
+        from repro.experiments.workloads import workloads_main
+
+        return workloads_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:

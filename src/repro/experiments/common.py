@@ -45,7 +45,12 @@ def cached_simulation(
     when one is configured.  ``engine`` overrides the process-wide default —
     the simulation service passes its own warm engine here so figure
     regenerations share the service cache.
+
+    The *name* is handed to the engine (not a pre-built ``Network``) so the
+    workload registry supplies the registered density profile — a synthetic
+    workload simulated through fig8/fig10 uses the same densities as the
+    ``compare`` and ``network`` paths.
     """
     if engine is None:
         engine = default_engine()
-    return engine.run_network(cached_network(name), seed=seed)
+    return engine.run_network(name, seed=seed)

@@ -33,13 +33,23 @@ def run(
     architectures: Optional[Sequence[str]] = None,
     seed: int = 0,
     engine=None,
+    density_profile: Optional[str] = None,
 ) -> Dict[str, NetworkComparison]:
     """Comparison sweep over ``networks`` x ``architectures``.
 
-    ``engine`` (optional :class:`repro.engine.SimulationEngine`) overrides
-    the shared default — the service's ``compare`` scenario passes its own.
+    ``networks`` accepts any registered workload name (``repro workloads
+    --list``); ``density_profile`` overrides each workload's own densities
+    with a registered profile.  ``engine`` (optional
+    :class:`repro.engine.SimulationEngine`) overrides the shared default —
+    the service's ``compare`` scenario passes its own.
     """
-    return compare_networks(networks, architectures, seed=seed, engine=engine)
+    return compare_networks(
+        networks,
+        architectures,
+        seed=seed,
+        density_profile=density_profile,
+        engine=engine,
+    )
 
 
 def _network_section(comparison: NetworkComparison, per_module: bool) -> str:
@@ -110,9 +120,26 @@ def build_compare_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--networks",
-        default=",".join(EVALUATED_NETWORKS),
+        default=None,
         metavar="NAMES",
-        help="comma-separated catalogue networks (default: all)",
+        help="comma-separated registered workloads "
+        f"(default: {','.join(EVALUATED_NETWORKS)}; "
+        "see `repro workloads --list`)",
+    )
+    parser.add_argument(
+        "--network",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="add one registered workload (repeatable); on its own it "
+        "replaces the default network set",
+    )
+    parser.add_argument(
+        "--density-profile",
+        default=None,
+        metavar="NAME",
+        help="generate operands at a registered density profile instead of "
+        "each workload's own (see `repro workloads --profiles`)",
     )
     parser.add_argument(
         "--architectures",
@@ -170,17 +197,30 @@ def compare_main(argv: Optional[Sequence[str]] = None) -> int:
     cache_dir = False if args.no_cache else args.cache_dir
     if cache_dir is not None or args.parallel is not None:
         configure_default_engine(cache_dir=cache_dir, parallel=args.parallel)
-    networks = tuple(
-        part.strip() for part in args.networks.split(",") if part.strip()
-    )
+    networks: Tuple[str, ...]
+    if args.networks:
+        networks = tuple(
+            part.strip() for part in args.networks.split(",") if part.strip()
+        )
+        networks += tuple(args.network)
+    elif args.network:
+        networks = tuple(args.network)
+    else:
+        networks = EVALUATED_NETWORKS
     architectures = [
         part.strip() for part in args.architectures.split(",") if part.strip()
     ]
     try:
-        comparisons = run(networks, architectures, seed=args.seed)
-    except KeyError as error:
-        # Unknown network or architecture: the registry error already lists
-        # the catalogue.
+        comparisons = run(
+            networks,
+            architectures,
+            seed=args.seed,
+            density_profile=args.density_profile,
+        )
+    except (KeyError, ValueError) as error:
+        # Unknown workload, architecture or density profile (the registry
+        # error already lists the catalogue), or a display-name collision
+        # between distinct workloads.
         print(error.args[0] if error.args else str(error), file=sys.stderr)
         return 2
     print(

@@ -1,0 +1,124 @@
+"""``repro workloads`` — the workload zoo from the command line.
+
+Lists the registered workloads (the paper's Table I trio, the builder
+variants, the synthetic zoo, anything registered at runtime) and the density
+profiles their operands can be generated at::
+
+    repro workloads --list              # the catalogue (default action)
+    repro workloads --profiles          # the density-profile library
+    repro workloads --describe vggnet   # per-layer shape table of one entry
+
+Pair it with the other subcommands: ``repro compare --network plain-cnn-8``
+sweeps a synthetic workload across registered architectures, and ``repro
+submit network --network plain-cnn-8 --density-profile uniform-25`` runs one
+through the service.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.workloads.profiles import available_profiles, get_profile
+from repro.workloads.registry import default_registry, get_workload
+
+
+def list_workloads() -> str:
+    """Human-readable workload catalogue (what ``--list`` prints)."""
+    lines = ["Registered workloads:"]
+    for spec in default_registry():
+        network = spec.build()
+        lines.append(
+            f"  {spec.name:20s} {network.conv_layer_count:3d} conv layers, "
+            f"{network.total_multiplies / 1e9:6.2f} GMUL, "
+            f"profile {spec.density_profile}"
+        )
+        if spec.description:
+            lines.append(f"  {'':20s} {spec.description}")
+        if spec.paper_reference:
+            lines.append(f"  {'':20s} [{spec.paper_reference}]")
+    return "\n".join(lines)
+
+
+def list_profiles() -> str:
+    """Human-readable density-profile catalogue (what ``--profiles`` prints)."""
+    lines = ["Registered density profiles:"]
+    for name in available_profiles():
+        profile = get_profile(name)
+        lines.append(f"  {profile.name:14s} {profile.description}")
+    return "\n".join(lines)
+
+
+def describe_workload(name: str) -> str:
+    """Per-layer shape table of one registered workload."""
+    spec = get_workload(name)
+    network = spec.build()
+    lines = [
+        f"{spec.name}: {network.name} "
+        f"({network.conv_layer_count} conv layers, "
+        f"{network.total_multiplies / 1e9:.2f} GMUL, "
+        f"density profile {spec.density_profile})"
+    ]
+    if spec.description:
+        lines.append(f"  {spec.description}")
+    sparsity = spec.sparsity(network)
+    for layer in network.layers:
+        densities = sparsity[layer.name]
+        lines.append(
+            f"  {layer.describe()}  "
+            f"[w {densities.weight_density:.2f} / "
+            f"a {densities.activation_density:.2f}]"
+        )
+    return "\n".join(lines)
+
+
+def build_workloads_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``repro workloads`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro workloads",
+        description="List and inspect the registered workloads (networks + "
+        "density profiles) every simulation entry point accepts.",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered workloads and exit (the default action)",
+    )
+    parser.add_argument(
+        "--profiles", action="store_true",
+        help="list registered density profiles and exit",
+    )
+    parser.add_argument(
+        "--describe", default=None, metavar="NAME",
+        help="print the per-layer shape and density table of one workload",
+    )
+    return parser
+
+
+def workloads_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro workloads``; returns the process exit code."""
+    args = build_workloads_parser().parse_args(argv)
+    try:
+        if args.describe:
+            try:
+                print(describe_workload(args.describe))
+            except KeyError as error:
+                print(error.args[0] if error.args else str(error), file=sys.stderr)
+                return 2
+            return 0
+        if args.profiles:
+            print(list_profiles())
+            if not args.list:
+                return 0
+            print()
+        print(list_workloads())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: not an error, but
+        # stdout must be detached before the interpreter's exit flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(workloads_main())

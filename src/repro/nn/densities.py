@@ -103,9 +103,15 @@ _GOOGLENET_BRANCH_ADJUST: Dict[str, Tuple[float, float]] = {
 
 _DEFAULT = LayerSparsity(0.40, 0.45)
 
+#: Densities below this floor are clamped up: a target density of exactly
+#: zero cannot be represented by :class:`LayerSparsity` and would leave the
+#: workload generators nothing to place.  Shared with the density-profile
+#: library (:mod:`repro.workloads.profiles`).
+MIN_DENSITY = 0.05
+
 
 def _clamp_density(value: float) -> float:
-    return max(0.05, min(1.0, value))
+    return max(MIN_DENSITY, min(1.0, value))
 
 
 def _googlenet_layer(spec: ConvLayerSpec) -> LayerSparsity:
@@ -119,13 +125,19 @@ def _googlenet_layer(spec: ConvLayerSpec) -> LayerSparsity:
 
 
 def sparsity_for_layer(network_name: str, spec: ConvLayerSpec) -> LayerSparsity:
-    """Calibrated densities of one layer of one catalogue network."""
+    """Calibrated densities of one layer of one catalogue network.
+
+    Matching is exact (plus the registered ``googlenet-stem`` variant, whose
+    stem layers the GoogLeNet calibration covers via their ``stem`` module
+    label); unrelated networks — whatever their display name — get the flat
+    default calibration.
+    """
     key = network_name.strip().lower()
     if key == "alexnet":
         return _ALEXNET.get(spec.name, _DEFAULT)
     if key == "vggnet":
         return _VGGNET.get(spec.name, _DEFAULT)
-    if key == "googlenet":
+    if key in ("googlenet", "googlenet-stem"):
         return _googlenet_layer(spec)
     return _DEFAULT
 

@@ -9,8 +9,8 @@ convolutional layers as they constitute the majority of the computation").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.nn.layers import ConvLayerSpec
 
@@ -198,23 +198,29 @@ def vggnet() -> Network:
     return Network("VGGNet", layers)
 
 
-_BUILDERS: Dict[str, Callable[[], Network]] = {
-    "alexnet": alexnet,
-    "googlenet": googlenet,
-    "vggnet": vggnet,
-}
-
-
 def available_networks() -> List[str]:
-    """Names accepted by :func:`get_network`."""
-    return sorted(_BUILDERS)
+    """Names accepted by :func:`get_network` — a live registry view.
+
+    Historically this returned the hard-coded paper trio; it is now a shim
+    over the workload registry (:mod:`repro.workloads.registry`), so networks
+    registered at runtime appear here immediately.  Sorted for stable
+    display; see :func:`repro.workloads.available_workloads` for
+    registration order.
+    """
+    from repro.workloads.registry import available_workloads
+
+    return sorted(available_workloads())
 
 
 def get_network(name: str) -> Network:
-    """Build a catalogue network by (case-insensitive) name."""
-    key = name.strip().lower()
-    if key not in _BUILDERS:
-        raise KeyError(
-            f"unknown network {name!r}; available: {', '.join(available_networks())}"
-        )
-    return _BUILDERS[key]()
+    """Build a registered network by (case-insensitive) name.
+
+    A shim over the workload registry: the paper catalogue (``alexnet``,
+    ``googlenet``, ``googlenet-stem``, ``vggnet``) is built by this module's
+    builders exactly as before, and any workload registered at runtime —
+    synthetic or user-defined — resolves the same way.  Unknown names raise
+    a :class:`KeyError` that lists the catalogue.
+    """
+    from repro.workloads.registry import resolve_network
+
+    return resolve_network(name)

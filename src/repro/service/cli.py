@@ -117,6 +117,17 @@ def build_submit_parser() -> argparse.ArgumentParser:
         "falling back to plain strings",
     )
     parser.add_argument(
+        "--network", default=None, metavar="NAME",
+        help="shorthand for --param network=NAME — or networks=[NAME] when "
+        "the scenario declares the plural form (any registered workload; "
+        "see `repro workloads --list`)",
+    )
+    parser.add_argument(
+        "--density-profile", default=None, metavar="NAME",
+        help="shorthand for --param density_profile=NAME (see "
+        "`repro workloads --profiles`)",
+    )
+    parser.add_argument(
         "--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
         help=f"service base URL (default: http://127.0.0.1:{DEFAULT_PORT})",
     )
@@ -146,6 +157,23 @@ def parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
     return params
 
 
+def network_param_key(scenario_description: Optional[Dict[str, Any]]) -> str:
+    """Which parameter the ``--network`` shorthand should populate.
+
+    ``network`` when the scenario declares it (or when the schema is
+    unavailable), ``networks`` for plural-only scenarios like ``compare`` /
+    ``fig8`` / ``fig10`` — so one shorthand works across the catalogue.
+    """
+    if scenario_description:
+        declared = {
+            parameter["name"]
+            for parameter in scenario_description.get("parameters", [])
+        }
+        if "network" not in declared and "networks" in declared:
+            return "networks"
+    return "network"
+
+
 def submit_main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_submit_parser().parse_args(argv)
     try:
@@ -154,6 +182,27 @@ def submit_main(argv: Optional[Sequence[str]] = None) -> int:
         print(str(error), file=sys.stderr)
         return 2
     client = ServiceClient(args.url)
+    shorthands: Dict[str, Any] = {}
+    if args.network is not None:
+        try:
+            catalogue = {entry["name"]: entry for entry in client.scenarios()}
+        except (ServiceError, OSError):
+            catalogue = {}  # unreachable service: submit will report it
+        key = network_param_key(catalogue.get(args.scenario))
+        shorthands[key] = args.network if key == "network" else [args.network]
+    if args.density_profile is not None:
+        shorthands["density_profile"] = args.density_profile
+    for key, value in shorthands.items():
+        if key in params:
+            # Contradictory input must fail loudly, not silently pick one.
+            flag = "--network" if key in ("network", "networks") else f"--{key.replace('_', '-')}"
+            print(
+                f"{flag} conflicts with --param {key}=...; "
+                "pass one or the other",
+                file=sys.stderr,
+            )
+            return 2
+        params[key] = value
     try:
         job_id = client.submit(args.scenario, params, priority=args.priority)
         if args.no_wait:

@@ -18,12 +18,18 @@ full-network simulation, the DSE sweep, the paper-figure regenerations
 (Figure 8, Figure 10, Table II) adapted from :mod:`repro.experiments`, and
 the cross-architecture ``compare`` sweep over the architecture registry
 (:mod:`repro.arch`).
+
+Network parameters accept any name the workload registry
+(:mod:`repro.workloads`) knows, with choices resolved against the *live*
+registry at validation time — a workload (or density profile, or
+architecture) registered after the service booted is accepted immediately
+rather than rejected by a schema frozen at boot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.serialization import (
     comparison_payload,
@@ -34,7 +40,6 @@ from repro.analysis.serialization import (
 )
 from repro.engine import SimulationEngine
 from repro.engine.workloads import WorkloadHandle
-from repro.nn.densities import network_sparsity
 from repro.nn.networks import available_networks, get_network
 from repro.scnn.config import SCNN_CONFIG
 from repro.timeloop.dse import default_candidates
@@ -49,17 +54,33 @@ _REQUIRED = object()  # sentinel: parameter has no default, caller must supply
 
 @dataclass(frozen=True)
 class Parameter:
-    """One declared scenario parameter."""
+    """One declared scenario parameter.
+
+    ``choices`` constrains string values to a closed set.  It accepts either
+    a tuple (frozen at registration) or a *callable* returning the current
+    set — callables are re-evaluated on every :meth:`coerce` and
+    :meth:`describe`, so a parameter backed by a live registry (workload
+    names, architecture names) accepts entries registered after the scenario
+    registry was built instead of rejecting them with a stale "must be one
+    of" error.
+    """
 
     name: str
     type: str  # "int" | "float" | "bool" | "str" | "list[str]"
     description: str = ""
     default: Any = _REQUIRED
-    choices: Optional[Tuple[str, ...]] = None
+    choices: Union[None, Tuple[str, ...], Callable[[], Sequence[str]]] = None
 
     @property
     def required(self) -> bool:
         return self.default is _REQUIRED
+
+    def resolved_choices(self) -> Optional[Tuple[str, ...]]:
+        """The accepted values *right now* (callables hit the live source)."""
+        if self.choices is None:
+            return None
+        choices = self.choices() if callable(self.choices) else self.choices
+        return tuple(choices)
 
     def describe(self) -> Dict[str, Any]:
         info: Dict[str, Any] = {
@@ -70,14 +91,25 @@ class Parameter:
         }
         if not self.required:
             info["default"] = self.default
-        if self.choices is not None:
-            info["choices"] = list(self.choices)
+        choices = self.resolved_choices()
+        if choices is not None:
+            info["choices"] = list(choices)
         return info
 
     def coerce(self, value: Any) -> Any:
         """Validate ``value`` against this parameter's type and choices."""
         if self.type == "int":
-            if isinstance(value, bool) or not isinstance(value, int):
+            # JSON encoders in several client stacks float-ize every number,
+            # so {"priority": 4.0} must mean the integer 4.
+            if isinstance(value, bool):
+                raise ScenarioError(f"parameter {self.name!r} must be an integer")
+            if isinstance(value, float):
+                if not value.is_integer():
+                    raise ScenarioError(
+                        f"parameter {self.name!r} must be an integer"
+                    )
+                value = int(value)
+            elif not isinstance(value, int):
                 raise ScenarioError(f"parameter {self.name!r} must be an integer")
         elif self.type == "float":
             if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -102,14 +134,26 @@ class Parameter:
             value = list(value)
         else:  # pragma: no cover - registration-time programming error
             raise ScenarioError(f"parameter {self.name!r} has unknown type {self.type!r}")
-        if self.choices is not None:
+        choices = self.resolved_choices()
+        if choices is not None:
+            # Match case-insensitively and substitute the canonical spelling,
+            # mirroring how the registries themselves resolve names — a
+            # client sending "AlexNet" means the registered "alexnet".
+            canonical = {choice.strip().lower(): choice for choice in choices}
             values = value if self.type == "list[str]" else [value]
+            normalised = []
             for item in values:
-                if item not in self.choices:
+                if item in choices:
+                    normalised.append(item)
+                    continue
+                match = canonical.get(item.strip().lower())
+                if match is None:
                     raise ScenarioError(
                         f"parameter {self.name!r} must be one of "
-                        f"{', '.join(self.choices)}; got {item!r}"
+                        f"{', '.join(choices)}; got {item!r}"
                     )
+                normalised.append(match)
+            value = normalised if self.type == "list[str]" else normalised[0]
         return value
 
 
@@ -192,18 +236,71 @@ class ScenarioRegistry:
 # -- built-in scenario runners --------------------------------------------------
 
 
+def _live_network_choices() -> Tuple[str, ...]:
+    """Workload names from the *live* registry (resolved at validation time).
+
+    Passed as a callable ``choices`` so a workload registered after
+    :func:`default_registry` built the scenario catalogue is accepted
+    instead of tripping a stale "must be one of" error.
+    """
+    return tuple(available_networks())
+
+
 def _network_parameter(description: str) -> Parameter:
     return Parameter(
         "network",
         "str",
         description,
         default="alexnet",
-        choices=tuple(available_networks()),
+        choices=_live_network_choices,
     )
 
 
+def _live_profile_choices() -> Tuple[str, ...]:
+    """Density-profile names from the live registry, plus the empty default.
+
+    Resolved at validation time like :func:`_live_network_choices`, so a
+    typo'd profile is rejected with an immediate 400 instead of failing
+    asynchronously inside a worker.
+    """
+    from repro.workloads.profiles import available_profiles
+
+    return ("",) + tuple(available_profiles())
+
+
+def _density_profile_parameter() -> Parameter:
+    return Parameter(
+        "density_profile",
+        "str",
+        "density profile overriding the workload's own (see "
+        "`repro workloads --profiles`); empty = the workload's profile",
+        default="",
+        choices=_live_profile_choices,
+    )
+
+
+def _resolve_profile(profile_name: str):
+    """The named density profile, or ``None`` for the empty name.
+
+    Like the ``compare`` scenario's architecture check, the profile is
+    resolved against the live profile registry here (not frozen into the
+    schema), with the catalogue-listing error surfacing as a
+    :class:`ScenarioError` before any simulation work starts.
+    """
+    if not profile_name:
+        return None
+    from repro.workloads.profiles import get_profile
+
+    try:
+        return get_profile(profile_name)
+    except KeyError as error:
+        raise ScenarioError(error.args[0]) from None
+
+
 def _run_single_layer(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
-    network = get_network(params["network"])
+    from repro.workloads.registry import resolve_workload
+
+    network, sparsity = resolve_workload(params["network"])
     names = [spec.name for spec in network.layers]
     try:
         index = names.index(params["layer"])
@@ -213,7 +310,6 @@ def _run_single_layer(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
             f"layers: {', '.join(names)}"
         ) from None
     spec = network.layers[index]
-    sparsity = network_sparsity(network)
     handle = WorkloadHandle.build(
         network.name, params["seed"], index, spec, sparsity[spec.name]
     )
@@ -225,7 +321,15 @@ def _run_single_layer(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
 
 
 def _run_network(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
-    simulation = engine.run_network(params["network"], seed=params["seed"])
+    profile = _resolve_profile(params["density_profile"])
+    if profile is None:
+        # The engine resolves the name itself (the spec's profile applies).
+        simulation = engine.run_network(params["network"], seed=params["seed"])
+    else:
+        network = get_network(params["network"])
+        simulation = engine.run_network(
+            network, seed=params["seed"], sparsity=profile.table(network)
+        )
     return simulation_payload(simulation)
 
 
@@ -282,12 +386,19 @@ def _run_compare(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
             get_architecture(name)
     except KeyError as error:
         raise ScenarioError(error.args[0]) from None
-    comparisons = compare_networks(
-        params["networks"],
-        params["architectures"],
-        seed=params["seed"],
-        engine=engine,
-    )
+    _resolve_profile(params["density_profile"])
+    try:
+        comparisons = compare_networks(
+            params["networks"],
+            params["architectures"],
+            seed=params["seed"],
+            density_profile=params["density_profile"] or None,
+            engine=engine,
+        )
+    except ValueError as error:
+        # Display-name collision between distinct workloads: surface it as a
+        # clean scenario failure rather than an anonymous worker traceback.
+        raise ScenarioError(error.args[0]) from None
     return {
         "comparisons": {
             name: comparison_payload(comparison)
@@ -299,12 +410,18 @@ def _run_compare(engine: SimulationEngine, params: Dict[str, Any]) -> Any:
 def default_registry() -> ScenarioRegistry:
     """The repo's scenario catalogue, freshly constructed."""
     seed = Parameter("seed", "int", "workload generation seed", default=0)
+    # The default stays the paper's evaluated trio; the *accepted* names are
+    # resolved against the live workload registry at validation time, so a
+    # workload registered after this scenario catalogue was built (or after
+    # the service booted) is accepted rather than rejected by a frozen
+    # choices tuple.
     networks = Parameter(
         "networks",
         "list[str]",
-        "networks to evaluate",
-        default=list(available_networks()),
-        choices=tuple(available_networks()),
+        "workloads to evaluate (any registered workload name; see "
+        "`repro workloads --list`)",
+        default=["alexnet", "googlenet", "vggnet"],
+        choices=_live_network_choices,
     )
     registry = ScenarioRegistry()
     registry.register(
@@ -324,7 +441,11 @@ def default_registry() -> ScenarioRegistry:
             "network",
             "Full network simulation (SCNN + DCNN + oracle + energy).",
             _run_network,
-            (_network_parameter("catalogue network to simulate"), seed),
+            (
+                _network_parameter("registered workload to simulate"),
+                seed,
+                _density_profile_parameter(),
+            ),
         )
     )
     registry.register(
@@ -384,6 +505,7 @@ def default_registry() -> ScenarioRegistry:
                     default=["DCNN", "DCNN-opt", "SCNN"],
                 ),
                 seed,
+                _density_profile_parameter(),
             ),
         )
     )

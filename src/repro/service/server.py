@@ -237,6 +237,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         params = body.get("params") or {}
         priority = body.get("priority", 0)
+        # JSON encoders in several client stacks float-ize every number, so
+        # {"priority": 4.0} must mean the integer 4 (mirroring
+        # Parameter.coerce for scenario parameters).
+        if isinstance(priority, float) and priority.is_integer():
+            priority = int(priority)
         if not isinstance(params, dict) or isinstance(priority, bool) or not isinstance(priority, int):
             self._send_error_json(
                 400, "'params' must be an object and 'priority' an integer"

@@ -1,0 +1,211 @@
+"""Parametric synthetic network generators.
+
+The paper evaluates exactly three hand-catalogued networks (Table I).  These
+generators widen the workload space: each one emits a
+:class:`~repro.nn.networks.Network` — a plain chain of
+:class:`~repro.nn.layers.ConvLayerSpec` — from a handful of shape parameters,
+so the existing cycle/energy models (which consume layer specs, not weights)
+cover every generated topology with no new simulator code.
+
+Four families, spanning the axes that change accelerator behaviour:
+
+* :func:`plain_cnn` — constant-width chains (depth axis);
+* :func:`resnet_style` — staged 3x3 pairs with extent halving and channel
+  doubling per stage (the modern classification backbone shape);
+* :func:`wide_shallow` — few layers, many channels (accumulator/bank
+  pressure axis);
+* :func:`bottleneck_stack` — 1x1 reduce / 3x3 / 1x1 expand triplets (the
+  mixed-kernel shape that stresses the Cartesian-product dataflow's
+  handling of unit filters).
+
+Every generator chains extents exactly (layer *i*+1's input extent is layer
+*i*'s output extent), so any parameter combination that constructs is a
+valid, simulatable network — degenerate 1x1 kernels and single-channel
+layers included.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.nn.layers import ConvLayerSpec
+from repro.nn.networks import Network
+
+
+def _require_positive(**values: int) -> None:
+    for label, value in values.items():
+        if value <= 0:
+            raise ValueError(f"{label} must be positive, got {value}")
+
+
+def plain_cnn(
+    depth: int = 8,
+    channels: int = 32,
+    extent: int = 32,
+    kernel: int = 3,
+    in_channels: int = 3,
+    name: Optional[str] = None,
+) -> Network:
+    """A constant-width chain of ``depth`` convolutions.
+
+    Every layer keeps ``channels`` output channels and (for odd kernels) the
+    spatial extent; the first layer lifts ``in_channels`` (image planes by
+    default) up to ``channels``.
+    """
+    _require_positive(
+        depth=depth, channels=channels, extent=extent, kernel=kernel,
+        in_channels=in_channels,
+    )
+    name = name or f"PlainCNN-{depth}"
+    padding = (kernel - 1) // 2
+    layers: List[ConvLayerSpec] = []
+    current_in, current_extent = in_channels, extent
+    for index in range(depth):
+        spec = ConvLayerSpec(
+            f"conv{index + 1}",
+            current_in,
+            channels,
+            current_extent,
+            current_extent,
+            kernel,
+            kernel,
+            stride=1,
+            padding=padding,
+        )
+        layers.append(spec)
+        current_in, current_extent = channels, spec.output_height
+    return Network(name, tuple(layers))
+
+
+def resnet_style(
+    blocks: Sequence[int] = (2, 2, 2),
+    base_channels: int = 16,
+    extent: int = 32,
+    in_channels: int = 3,
+    name: Optional[str] = None,
+) -> Network:
+    """A staged residual-network-style backbone (convolutions only).
+
+    One 3x3 stem, then ``len(blocks)`` stages; stage *s* runs ``blocks[s]``
+    two-convolution blocks at ``base_channels * 2**s`` channels, entering
+    with a stride-2 convolution (after the first stage) that halves the
+    extent while the channel count doubles — the classic pyramid.  Only the
+    convolutional layers are modelled (skip connections are additions, which
+    the paper's evaluation excludes), so block count maps to
+    ``1 + 2 * sum(blocks)`` layers.
+    """
+    if not blocks:
+        raise ValueError("resnet_style needs at least one stage")
+    for count in blocks:
+        _require_positive(blocks_entry=count)
+    _require_positive(
+        base_channels=base_channels, extent=extent, in_channels=in_channels
+    )
+    name = name or f"ResNetStyle-{1 + 2 * sum(blocks)}"
+    stem = ConvLayerSpec(
+        "stem", in_channels, base_channels, extent, extent, 3, 3,
+        stride=1, padding=1, module="stem",
+    )
+    layers: List[ConvLayerSpec] = [stem]
+    current_in, current_extent = base_channels, stem.output_height
+    for stage, count in enumerate(blocks):
+        channels = base_channels * (2 ** stage)
+        module = f"stage{stage + 1}"
+        for block in range(count):
+            downsample = stage > 0 and block == 0
+            first = ConvLayerSpec(
+                f"{module}/block{block + 1}a",
+                current_in,
+                channels,
+                current_extent,
+                current_extent,
+                3,
+                3,
+                stride=2 if downsample else 1,
+                padding=1,
+                module=module,
+            )
+            layers.append(first)
+            second = ConvLayerSpec(
+                f"{module}/block{block + 1}b",
+                channels,
+                channels,
+                first.output_height,
+                first.output_width,
+                3,
+                3,
+                stride=1,
+                padding=1,
+                module=module,
+            )
+            layers.append(second)
+            current_in, current_extent = channels, second.output_height
+    return Network(name, tuple(layers))
+
+
+def wide_shallow(
+    layers: int = 3,
+    channels: int = 256,
+    extent: int = 56,
+    kernel: int = 3,
+    in_channels: int = 3,
+    name: Optional[str] = None,
+) -> Network:
+    """Few layers, many channels: the accumulator-pressure corner.
+
+    Wide layers maximise the output-channel group count (``K/Kc``) and the
+    number of distinct accumulator banks touched per input, which is exactly
+    where banked-accumulator contention and the PPU drain show up.
+    """
+    _require_positive(layers=layers)  # plain_cnn validates the rest
+    return plain_cnn(
+        depth=layers,
+        channels=channels,
+        extent=extent,
+        kernel=kernel,
+        in_channels=in_channels,
+        name=name or f"WideShallow-{layers}",
+    )
+
+
+def bottleneck_stack(
+    blocks: int = 4,
+    channels: int = 32,
+    extent: int = 28,
+    expansion: int = 4,
+    in_channels: int = 3,
+    name: Optional[str] = None,
+) -> Network:
+    """Stacked 1x1-reduce / 3x3 / 1x1-expand bottleneck triplets.
+
+    Unit-filter layers have no halo and a weight-register footprint of one
+    value per channel pair, so they exercise the opposite corner of the
+    Cartesian-product dataflow from the 3x3 layers they sandwich.  Block
+    *i*'s expand output (``channels * expansion``) feeds block *i*+1's
+    reduce, mirroring bottleneck residual stages.
+    """
+    _require_positive(
+        blocks=blocks, channels=channels, extent=extent, expansion=expansion,
+        in_channels=in_channels,
+    )
+    name = name or f"BottleneckStack-{blocks}"
+    layers: List[ConvLayerSpec] = []
+    current_in = in_channels
+    expanded = channels * expansion
+    for block in range(blocks):
+        module = f"block{block + 1}"
+        reduce_spec = ConvLayerSpec(
+            f"{module}/reduce", current_in, channels, extent, extent, 1, 1,
+            module=module,
+        )
+        mid_spec = ConvLayerSpec(
+            f"{module}/conv3x3", channels, channels, extent, extent, 3, 3,
+            padding=1, module=module,
+        )
+        expand_spec = ConvLayerSpec(
+            f"{module}/expand", channels, expanded, extent, extent, 1, 1,
+            module=module,
+        )
+        layers.extend((reduce_spec, mid_spec, expand_spec))
+        current_in = expanded
+    return Network(name, tuple(layers))

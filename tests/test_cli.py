@@ -91,6 +91,67 @@ class TestCompareDispatch:
         assert compare_main(["--architectures", "TPU"]) == 2
         assert "unknown architecture" in capsys.readouterr().err
 
+    def test_compare_unknown_workload_exit_code(self, capsys):
+        from repro.experiments.compare import compare_main
+
+        assert compare_main(["--network", "lenet"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_compare_unknown_density_profile_exit_code(self, capsys):
+        from repro.experiments.compare import compare_main
+
+        assert (
+            compare_main(["--network", "alexnet", "--density-profile", "nope"])
+            == 2
+        )
+        assert "unknown density profile" in capsys.readouterr().err
+
+    def test_compare_network_flags_replace_the_default_set(self):
+        from repro.experiments.compare import build_compare_parser
+
+        args = build_compare_parser().parse_args(
+            ["--network", "plain-cnn-8", "--network", "alexnet"]
+        )
+        assert args.network == ["plain-cnn-8", "alexnet"]
+        assert args.networks is None
+
+
+class TestWorkloadsDispatch:
+    def test_workloads_routes_to_the_workloads_cli(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            "repro.experiments.workloads.workloads_main",
+            lambda argv: calls.append(argv) or 0,
+        )
+        assert cli.main(["workloads", "--list"]) == 0
+        assert calls == [["--list"]]
+
+    def test_workloads_is_not_an_experiment_id(self):
+        assert cli.WORKLOADS_COMMAND not in cli.EXPERIMENTS
+
+    def test_workloads_list_and_profiles(self, capsys):
+        from repro.experiments.workloads import workloads_main
+
+        assert workloads_main(["--list", "--profiles"]) == 0
+        output = capsys.readouterr().out
+        assert "plain-cnn-8" in output
+        assert "googlenet-stem" in output
+        assert "decay-90-30" in output
+
+    def test_workloads_describe(self, capsys):
+        from repro.experiments.workloads import workloads_main
+
+        assert workloads_main(["--describe", "bottleneck-stack-4"]) == 0
+        output = capsys.readouterr().out
+        assert "block1/reduce" in output
+        assert "[w 0.50 / a 0.50]" in output
+
+    def test_workloads_describe_unknown_exit_code(self, capsys):
+        from repro.experiments.workloads import workloads_main
+
+        assert workloads_main(["--describe", "lenet"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
 
 class TestMain:
     def test_list_exit_code(self, capsys):

@@ -35,6 +35,7 @@ class TestExamples:
             "reproduce_paper",
             "service_client",
             "compare_architectures",
+            "workload_zoo",
         } <= names
 
     def test_quickstart(self, capsys):
@@ -81,6 +82,20 @@ class TestExamples:
         assert "SCNN-SparseW" in output
         assert "SCNN-A64" in output
         assert "one registration" in output
+
+    def test_workload_zoo(self, capsys):
+        from repro.workloads import default_registry
+        from repro.workloads.profiles import unregister_profile
+
+        try:
+            load_example("workload_zoo").main()
+        finally:
+            default_registry().unregister("deep-thin-12")
+            unregister_profile("uniform-33")
+        output = capsys.readouterr().out
+        assert "Registered 'deep-thin-12'" in output
+        assert "Cross-architecture comparison" in output
+        assert "density as a swept axis" in output
 
     def test_reproduce_paper_lists_every_experiment(self):
         module = load_example("reproduce_paper")

@@ -106,7 +106,11 @@ class TestNetworkContainer:
             get_network("lenet")
 
     def test_available_networks(self):
-        assert available_networks() == ["alexnet", "googlenet", "vggnet"]
+        # A sorted live view of the workload registry: the paper trio (plus
+        # the stem variant) is always present; synthetics ride along.
+        names = available_networks()
+        assert names == sorted(names)
+        assert {"alexnet", "googlenet", "googlenet-stem", "vggnet"} <= set(names)
 
     def test_layer_lookup(self):
         network = vggnet()

@@ -44,4 +44,11 @@ class TestPublicApi:
         assert "ISCA" in repro.__doc__
 
     def test_available_networks_exported(self):
-        assert repro.available_networks() == ["alexnet", "googlenet", "vggnet"]
+        assert {"alexnet", "googlenet", "vggnet"} <= set(repro.available_networks())
+
+    def test_workload_registry_exported(self):
+        assert {"alexnet", "plain-cnn-8"} <= set(repro.available_workloads())
+        assert repro.get_workload("alexnet").density_profile == "measured"
+        assert "measured" in repro.available_profiles()
+        assert repro.get_profile("dense").name == "dense"
+        assert isinstance(repro.get_workload("vggnet"), repro.WorkloadSpec)

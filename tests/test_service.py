@@ -190,14 +190,18 @@ class TestScenarios:
         network_params = {
             p["name"]: p for p in by_name["network"]["parameters"]
         }
-        assert network_params["network"]["choices"] == [
-            "alexnet", "googlenet", "vggnet",
-        ]
+        # Choices are a live view of the workload registry (paper trio,
+        # stem variant, synthetic zoo, runtime registrations).
+        assert {"alexnet", "googlenet", "vggnet", "googlenet-stem",
+                "plain-cnn-8"} <= set(network_params["network"]["choices"])
         assert network_params["seed"]["default"] == 0
+        assert network_params["density_profile"]["default"] == ""
 
     def test_validation_applies_defaults_and_types(self):
         scenario = default_registry().get("network")
-        assert scenario.validate({}) == {"network": "alexnet", "seed": 0}
+        assert scenario.validate({}) == {
+            "network": "alexnet", "seed": 0, "density_profile": "",
+        }
         assert scenario.validate({"seed": 7})["seed"] == 7
         with pytest.raises(ScenarioError, match="must be an integer"):
             scenario.validate({"seed": "seven"})
@@ -205,6 +209,43 @@ class TestScenarios:
             scenario.validate({"network": "resnet"})
         with pytest.raises(ScenarioError, match="does not accept"):
             scenario.validate({"networks": ["alexnet"]})
+
+    def test_int_parameters_accept_integral_json_floats(self):
+        """JSON encoders that float-ize numbers must not break int params."""
+        scenario = default_registry().get("network")
+        coerced = scenario.validate({"seed": 4.0})["seed"]
+        assert coerced == 4 and isinstance(coerced, int)
+        with pytest.raises(ScenarioError, match="must be an integer"):
+            scenario.validate({"seed": 4.5})
+        with pytest.raises(ScenarioError, match="must be an integer"):
+            scenario.validate({"seed": True})
+
+    def test_network_choices_match_case_insensitively(self):
+        """Display-cased names canonicalise to the registered spelling."""
+        scenario = default_registry().get("network")
+        assert scenario.validate({"network": "AlexNet"})["network"] == "alexnet"
+        fig8 = default_registry().get("fig8")
+        assert fig8.validate({"networks": "AlexNet,VGGNET"})["networks"] == [
+            "alexnet", "vggnet",
+        ]
+
+    def test_density_profile_validated_against_live_profile_registry(self):
+        scenario = default_registry().get("compare")
+        # Rejected at validation time — a typo never reaches the queue.
+        with pytest.raises(ScenarioError, match="must be one of"):
+            scenario.validate({"networks": ["alexnet"],
+                               "density_profile": "bogus"})
+        # Profiles registered after the scenario registry was built are
+        # accepted: the choices resolve against the live profile registry.
+        from repro.workloads import register_profile, uniform_profile
+        from repro.workloads.profiles import unregister_profile
+
+        register_profile(uniform_profile(0.61))
+        try:
+            params = scenario.validate({"density_profile": "uniform-61"})
+            assert params["density_profile"] == "uniform-61"
+        finally:
+            unregister_profile("uniform-61")
 
     def test_required_parameter_enforced(self):
         scenario = default_registry().get("layer")
@@ -262,6 +303,36 @@ class TestParamParsing:
     def test_malformed_pair_rejected(self):
         with pytest.raises(ValueError, match="KEY=VALUE"):
             parse_params(["seed"])
+
+    def test_submit_network_and_profile_shorthand_flags(self):
+        from repro.service.cli import build_submit_parser
+
+        args = build_submit_parser().parse_args(
+            ["network", "--network", "plain-cnn-8",
+             "--density-profile", "uniform-25"]
+        )
+        assert args.network == "plain-cnn-8"
+        assert args.density_profile == "uniform-25"
+
+    def test_submit_shorthand_conflicting_with_param_is_rejected(self, capsys):
+        from repro.service.cli import submit_main
+
+        code = submit_main(
+            ["network", "--param", "network=alexnet", "--network", "vggnet"]
+        )
+        assert code == 2
+        assert "conflicts with --param" in capsys.readouterr().err
+
+    def test_network_shorthand_maps_to_the_declared_parameter(self):
+        from repro.service.cli import network_param_key
+
+        catalogue = {s["name"]: s for s in default_registry().describe()}
+        assert network_param_key(catalogue["network"]) == "network"
+        assert network_param_key(catalogue["layer"]) == "network"
+        for plural in ("compare", "fig8", "fig10"):
+            assert network_param_key(catalogue[plural]) == "networks"
+        # Unknown scenario / unreachable service: default to the singular.
+        assert network_param_key(None) == "network"
 
 
 # -- end to end over HTTP --------------------------------------------------------
@@ -390,7 +461,25 @@ class TestServiceEndToEnd:
             client.submit("network", {"network": "resnet"})
         with pytest.raises(ServiceError, match="requires parameter"):
             client.submit("layer", {"network": "alexnet"})
-        # Nothing unrunnable ever reached the queue.
+        # A float-ized integer priority is the integer (the JSON round-trip
+        # case); a fractional one is still a 400.
+        import json as json_module
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{client.base_url}/jobs",
+            data=json_module.dumps(
+                {"scenario": "table2", "params": {}, "priority": 4.0}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            record = json_module.loads(response.read())
+        assert response.status == 202 and record["priority"] == 4
+        with pytest.raises(ServiceError, match="priority"):
+            client.submit("table2", priority=4.5)
+        # Nothing unrunnable ever reached the queue (the accepted
+        # float-priority table2 job is runnable and may be in any state).
         assert client.stats()["queue"]["jobs"]["failed"] == 0
 
     def test_unknown_job_and_endpoint_are_404(self, service_client):
