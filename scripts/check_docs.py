@@ -8,7 +8,7 @@ Three structural checks, all CI-enforced:
 * the required documents must exist — removing or renaming one is a doc
   break even when no link points at it yet;
 * every public module, class, function and method in the docstring-gated
-  packages (``src/repro/arch``, ``src/repro/engine``,
+  packages (``src/repro/arch``, ``src/repro/engine``, ``src/repro/grid``,
   ``src/repro/workloads``) must carry a docstring.  Private names (leading
   underscore), dunders and ``@property`` accessors are exempt.
 
@@ -42,6 +42,7 @@ REQUIRED_DOCUMENTS = (
 DOCSTRING_GATED_DIRS = (
     "src/repro/arch",
     "src/repro/engine",
+    "src/repro/grid",
     "src/repro/workloads",
 )
 

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Record the whole-grid batched-evaluator benchmark (``BENCH_whole_grid.json``).
+
+Times a Figure-7-style density sweep (every layer of a catalogue network x a
+density axis x the SCNN/DCNN/DCNN-opt trio) three ways:
+
+* ``per_config_loop_s`` — the scalar oracle loop (``fig7.run(batched=False)``),
+  one analytical model call per (layer, density, config) cell;
+* ``batched_cold_s`` — the batched grid pass with every grid memo cleared
+  (tiling plans, stacked constants, solved binomial triples);
+* ``batched_warm_s`` — the same pass again with the memos warm, which is the
+  steady state a sweep-heavy session (DSE, service traffic) actually sees.
+
+Every timing section first asserts the batched sweep is element-for-element
+identical to the oracle loop, so the recorded speedup is never bought with a
+numerical divergence.  ``--smoke`` shrinks the grid for CI; the committed
+``BENCH_whole_grid.json`` at the repo root is a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402  (path setup above)
+
+import repro.grid as grid  # noqa: E402
+from repro.experiments import fig7_sensitivity  # noqa: E402
+from repro.experiments.common import cached_network  # noqa: E402
+
+
+def _points_equal(batched, oracle) -> bool:
+    """Exact (bitwise) equality of two fig7 sweep-point lists."""
+    if len(batched) != len(oracle):
+        return False
+    for ours, theirs in zip(batched, oracle):
+        if ours.density != theirs.density:
+            return False
+        if ours.scnn_cycles != theirs.scnn_cycles:
+            return False
+        if ours.dcnn_cycles != theirs.dcnn_cycles:
+            return False
+        if ours.energy != theirs.energy:
+            return False
+    return True
+
+
+def run_benchmark(network_name: str, density_points: int) -> dict:
+    """Time the oracle loop vs the cold and warm batched grid passes."""
+    densities = tuple(
+        float(d) for d in np.round(np.linspace(0.01, 1.0, density_points), 4)
+    )
+    network = cached_network(network_name)  # build outside every timing window
+    layers = len(network.layers)
+
+    grid.clear_caches()
+    start = time.perf_counter()
+    oracle = fig7_sensitivity.run(densities, network_name, batched=False)
+    loop_s = time.perf_counter() - start
+
+    grid.clear_caches()
+    start = time.perf_counter()
+    cold = fig7_sensitivity.run(densities, network_name)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = fig7_sensitivity.run(densities, network_name)
+    warm_s = time.perf_counter() - start
+
+    equivalent = _points_equal(cold, oracle) and _points_equal(warm, oracle)
+    return {
+        "benchmark": "whole_grid",
+        "network": network_name,
+        "layers": layers,
+        "density_points": density_points,
+        "configs": 3,
+        "grid_cells": layers * density_points * 3,
+        "per_config_loop_s": round(loop_s, 6),
+        "batched_cold_s": round(cold_s, 6),
+        "batched_warm_s": round(warm_s, 6),
+        "speedup_cold": round(loop_s / cold_s, 3),
+        "speedup_warm": round(loop_s / warm_s, 3),
+        "equivalent": equivalent,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; exits non-zero if batched and oracle results diverge."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small grid for CI (googlenet-stem, 10 densities)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_whole_grid.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        record = run_benchmark("googlenet-stem", density_points=10)
+    else:
+        record = run_benchmark("googlenet", density_points=100)
+    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(record, indent=2))
+    if not record["equivalent"]:
+        print("FAIL: batched sweep diverged from the per-config oracle", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

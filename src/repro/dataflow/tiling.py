@@ -14,6 +14,7 @@ materialising compressed blocks in Python loops.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Tuple
 
 import numpy as np
@@ -106,9 +107,21 @@ def plan_layer(
     The input plane is split as evenly as possible across the PE grid.  Small
     layers (planes smaller than the grid) simply leave some PEs without work,
     which is exactly the load-imbalance effect the paper's Figure 9 reports.
+
+    Plans are memoised on ``(spec, num_pes, group_size, pe_rows, pe_cols)``:
+    a DSE sweep re-plans the identical (layer, PE-grid) pair for every
+    multiplier-array or accumulator-banking variant, so repeated requests
+    return the same frozen :class:`TilingPlan` instance.
     """
     if pe_rows is None or pe_cols is None:
         pe_rows, pe_cols = pe_grid_for(num_pes)
+    return _plan_layer_cached(spec, num_pes, group_size, pe_rows, pe_cols)
+
+
+@lru_cache(maxsize=4096)
+def _plan_layer_cached(
+    spec: ConvLayerSpec, num_pes: int, group_size: int, pe_rows: int, pe_cols: int
+) -> TilingPlan:
     rows = min(pe_rows, spec.input_height)
     cols = min(pe_cols, spec.input_width)
     # Keep the grid size constant (idle PEs get empty tiles) so barrier and

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.engine.cache import ResultCache, default_cache_dir, describe, fingerprint
 from repro.engine.parallel import parallel_map
 from repro.engine.workloads import WorkloadHandle
@@ -41,7 +43,12 @@ from repro.scnn.config import (
 )
 from repro.scnn.cycles import LayerCycleResult, simulate_layer_cycles
 from repro.scnn.simulator import LayerSimulation, NetworkSimulation, simulate_layer
-from repro.timeloop.dse import DesignPoint, evaluate_config
+from repro.timeloop.dse import (
+    DesignPoint,
+    evaluate_config,
+    evaluate_configs,
+    sweep_densities,
+)
 from repro.timeloop.energy import DEFAULT_ENERGY_TABLE, EnergyTable
 
 AnyWorkload = Union[LayerWorkload, WorkloadHandle]
@@ -463,6 +470,7 @@ class SimulationEngine:
         architectures: Sequence[object],
         *,
         parallel: Optional[int] = None,
+        batched: bool = True,
     ) -> ArchitectureRun:
         """Evaluate every workload on every registered architecture.
 
@@ -474,6 +482,12 @@ class SimulationEngine:
         or :class:`~repro.arch.spec.ArchitectureSpec` objects; cells are
         individually content-addressed in the cache and shard across the
         process pool.
+
+        Dense (``dot-product-dense``) columns are shape-only, so their
+        pending cells are evaluated in one batched grid pass
+        (:func:`repro.grid.dense_cycle_grid`) instead of the pool — bitwise
+        the same results, without ever touching the operand tensors.
+        ``batched=False`` forces every cell through its adapter.
         """
         from repro.arch.registry import get_architecture
         from repro.arch.spec import ArchitectureSpec
@@ -499,6 +513,17 @@ class SimulationEngine:
                     cells[i][j] = cached
                 else:
                     pending.append((i, j, key))
+        if batched:
+            dense_pending = [
+                cell for cell in pending if specs[cell[1]].adapter == "dot-product-dense"
+            ]
+            if dense_pending:
+                self._run_dense_columns(workloads, specs, dense_pending, cells)
+                pending = [
+                    cell
+                    for cell in pending
+                    if specs[cell[1]].adapter != "dot-product-dense"
+                ]
         results = parallel_map(
             _architecture_layer_task,
             [(workloads[i], specs[j]) for i, j, _ in pending],
@@ -508,6 +533,38 @@ class SimulationEngine:
             cells[i][j] = result
             self._store(key, result)
         return ArchitectureRun(workloads=workloads, architectures=specs, results=cells)
+
+    def _run_dense_columns(
+        self,
+        workloads: List[AnyWorkload],
+        specs: List[object],
+        pending: List[Tuple[int, int, str]],
+        cells: List[List[object]],
+    ) -> None:
+        """Fill pending dense-adapter cells from one grid pass per column."""
+        # Imported lazily for the same reason as _architecture_layer_task.
+        from repro.arch.adapters import ArchLayerResult
+        from repro.grid import dense_cycle_grid
+
+        by_column: Dict[int, List[Tuple[int, str]]] = {}
+        for i, j, key in pending:
+            by_column.setdefault(j, []).append((i, key))
+        for j, items in by_column.items():
+            config = specs[j].config
+            layer_specs = [workloads[i].spec for i, _ in items]
+            grid = dense_cycle_grid(layer_specs, config)
+            for row, (i, key) in enumerate(items):
+                result = ArchLayerResult(
+                    architecture=config.name,
+                    layer=layer_specs[row].name,
+                    cycles=int(grid.cycles[row]),
+                    operations=int(grid.products[row]),
+                    multiplier_utilization=float(grid.multiplier_utilization[row]),
+                    idle_fraction=float(grid.idle_fraction[row]),
+                    weight_vector_fetches=None,
+                )
+                cells[i][j] = result
+                self._store(key, result)
 
     # -- design-space exploration -----------------------------------------------
 
@@ -519,14 +576,19 @@ class SimulationEngine:
         sparsity: Optional[Dict[str, LayerSparsity]] = None,
         energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
         parallel: Optional[int] = None,
+        batched: bool = True,
     ) -> List[DesignPoint]:
         """Evaluate candidate configurations on ``network``, in parallel.
 
         Drop-in replacement for :func:`repro.timeloop.dse.sweep`: the same
-        analytical model evaluates each candidate, but candidates shard
-        across the pool and finished design points are cached.  ``network``
-        accepts any registered workload name (whose density profile supplies
-        ``sparsity`` unless overridden), like :meth:`run_network`.
+        analytical model evaluates each candidate, candidates that miss the
+        cache are evaluated in one batched grid pass (itself cached under a
+        grid-level key via :meth:`evaluate_grid`), and finished design points
+        stay individually content-addressed.  ``batched=False`` falls back to
+        sharding per-config evaluations across the pool; every path produces
+        bitwise-identical points.  ``network`` accepts any registered
+        workload name (whose density profile supplies ``sparsity`` unless
+        overridden), like :meth:`run_network`.
         """
         network, sparsity = _resolve_network_and_sparsity(network, sparsity)
         configs = list(configs)
@@ -545,12 +607,88 @@ class SimulationEngine:
                 points[index] = cached
             else:
                 pending.append((index, key))
-        results = parallel_map(
-            _design_point_task,
-            [(configs[index], network, sparsity, energy_table) for index, _ in pending],
-            self._workers(parallel),
-        )
+        if batched:
+            pending_configs = [configs[index] for index, _ in pending]
+            weight, activation, output = sweep_densities(network, sparsity)
+            grid = self.evaluate_grid(
+                list(network.layers),
+                pending_configs,
+                weight_density=weight,
+                activation_density=activation,
+                output_density=output,
+                energy_table=energy_table,
+                model="scnn",
+            )
+            results = evaluate_configs(
+                pending_configs,
+                network,
+                sparsity=sparsity,
+                energy_table=energy_table,
+                grid=grid,
+            )
+        else:
+            results = parallel_map(
+                _design_point_task,
+                [
+                    (configs[index], network, sparsity, energy_table)
+                    for index, _ in pending
+                ],
+                self._workers(parallel),
+            )
         for (index, key), point in zip(pending, results):
             points[index] = point
             self._store(key, point)
         return points
+
+    # -- whole-grid analytical evaluation -----------------------------------------
+
+    def evaluate_grid(
+        self,
+        specs: Sequence[object],
+        configs: Sequence[AcceleratorConfig],
+        *,
+        weight_density,
+        activation_density,
+        output_density=None,
+        energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+        model: str = "auto",
+    ):
+        """Cached front end to :func:`repro.grid.evaluate_grid`.
+
+        The whole configs x layers x densities result
+        (:class:`repro.grid.GridResult`) is content-addressed under one
+        grid-level key, so a repeated sweep over the same axes is one cache
+        hit instead of configs x layers x points model evaluations.
+        """
+        from repro.grid import evaluate_grid as grid_evaluate
+
+        specs = list(specs)
+        configs = list(configs)
+        key = fingerprint(
+            "analytical-grid",
+            specs=specs,
+            configs=configs,
+            weight_density=np.asarray(weight_density, dtype=np.float64),
+            activation_density=np.asarray(activation_density, dtype=np.float64),
+            output_density=(
+                None
+                if output_density is None
+                else np.asarray(output_density, dtype=np.float64)
+            ),
+            energy=energy_table,
+            model=model,
+        )
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        result = grid_evaluate(
+            specs,
+            configs,
+            weight_density=weight_density,
+            activation_density=activation_density,
+            output_density=output_density,
+            energy_table=energy_table,
+            model=model,
+        )
+        self._store(key, result)
+        return result

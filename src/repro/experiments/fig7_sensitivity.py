@@ -66,8 +66,23 @@ def run(
     scnn_config: AcceleratorConfig = SCNN_CONFIG,
     dcnn_config: AcceleratorConfig = DCNN_CONFIG,
     dcnn_opt_config: AcceleratorConfig = DCNN_OPT_CONFIG,
+    batched: bool = True,
 ) -> List[SweepPoint]:
-    """Run the density sweep with the analytical model."""
+    """Run the density sweep with the analytical model.
+
+    The default path evaluates the whole layers x densities grid in one
+    batched pass through :mod:`repro.grid`; ``batched=False`` keeps the
+    original per-(layer, density) loop as the equivalence oracle.  Both
+    produce bitwise-identical sweep points.
+    """
+    if batched:
+        return _run_batched(
+            densities,
+            network_name,
+            scnn_config=scnn_config,
+            dcnn_config=dcnn_config,
+            dcnn_opt_config=dcnn_opt_config,
+        )
     network = cached_network(network_name)
     dense_cycles = {
         spec.name: estimate_dense_layer(spec, dcnn_config).cycles
@@ -110,6 +125,88 @@ def run(
                 scnn_cycles=scnn_total,
                 dcnn_cycles=dcnn_total,
                 energy=energy,
+            )
+        )
+    return points
+
+
+def _run_batched(
+    densities: Sequence[float],
+    network_name: str,
+    *,
+    scnn_config: AcceleratorConfig,
+    dcnn_config: AcceleratorConfig,
+    dcnn_opt_config: AcceleratorConfig,
+) -> List[SweepPoint]:
+    """One grid pass over the whole layers x densities sweep.
+
+    Mirrors the oracle loop exactly: the SCNN cycle grid feeds SCNN's energy
+    cycles, while *both* dense configs are charged the DCNN config's dense
+    cycles (DCNN-opt's optimisations do not change the cycle count), and the
+    per-point totals accumulate in the oracle's layer order.
+    """
+    import numpy as np
+
+    from repro.grid import dense_cycle_grid, energy_grid, scnn_cycle_grid
+
+    network = cached_network(network_name)
+    specs = list(network.layers)
+    density_axis = np.asarray(list(densities), dtype=np.float64)
+    grid = np.broadcast_to(
+        density_axis[None, :], (len(specs), len(density_axis))
+    )
+    scnn = scnn_cycle_grid(specs, scnn_config, grid, grid)
+    dense = dense_cycle_grid(specs, dcnn_config)
+    output_density = np.minimum(1.0, grid)
+    scnn_energy_cycles = scnn.cycles.astype(np.int64)
+    dense_energy_cycles = np.broadcast_to(
+        dense.cycles[:, None], grid.shape
+    )
+    energy_grids = {
+        scnn_config.name: energy_grid(
+            specs,
+            scnn_config,
+            weight_density=grid,
+            activation_density=grid,
+            output_density=output_density,
+            cycles=scnn_energy_cycles,
+            table=DEFAULT_ENERGY_TABLE,
+        )["total"],
+        dcnn_config.name: energy_grid(
+            specs,
+            dcnn_config,
+            weight_density=grid,
+            activation_density=grid,
+            output_density=output_density,
+            cycles=dense_energy_cycles,
+            table=DEFAULT_ENERGY_TABLE,
+        )["total"],
+        dcnn_opt_config.name: energy_grid(
+            specs,
+            dcnn_opt_config,
+            weight_density=grid,
+            activation_density=grid,
+            output_density=output_density,
+            cycles=dense_energy_cycles,
+            table=DEFAULT_ENERGY_TABLE,
+        )["total"],
+    }
+    points: List[SweepPoint] = []
+    for d, density in enumerate(densities):
+        scnn_total = 0.0
+        dcnn_total = 0.0
+        energy = {name: 0.0 for name in energy_grids}
+        for s in range(len(specs)):
+            scnn_total += scnn.cycles[s, d]
+            dcnn_total += float(dense.cycles[s])
+            for name, totals in energy_grids.items():
+                energy[name] += totals[s, d]
+        points.append(
+            SweepPoint(
+                density=density,
+                scnn_cycles=float(scnn_total),
+                dcnn_cycles=float(dcnn_total),
+                energy={name: float(value) for name, value in energy.items()},
             )
         )
     return points

@@ -1,0 +1,513 @@
+"""Whole-grid broadcast evaluation of the analytical cycle/energy models.
+
+One call evaluates an entire arch x workload x density grid: the layer
+shapes and config parameters are stacked once (:mod:`repro.grid.stack`), the
+binomial fetch expectations are computed for every (block, density, width)
+triple in a handful of pmf passes (:mod:`repro.grid.binomial`), and the
+closed-form cycle/energy/utilization formulas of
+:mod:`repro.timeloop.model`, :mod:`repro.timeloop.energy` and
+:mod:`repro.scnn.dcnn` broadcast across the whole grid as tensor arithmetic.
+
+Every operation mirrors its scalar counterpart operand-for-operand (same
+order, same reduction lengths), so the grid is **bitwise-identical** to the
+per-config oracle — ``estimate_scnn_layer`` / ``estimate_dense_layer`` plus
+``layer_energy_from_densities`` cell by cell — which the equivalence suite
+(``tests/test_grid_equivalence.py``) pins element-for-element.  The scalar
+path therefore stays the semantics; this module is purely the fast way to
+evaluate many cells of it at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.arch.registry import resolve_config
+from repro.grid.binomial import expected_vector_counts
+from repro.grid.stack import ConfigLayerStack, config_layer_stack
+from repro.nn.layers import ConvLayerSpec
+from repro.scnn.config import AcceleratorConfig
+from repro.timeloop.energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
+from repro.timeloop.model import AnalyticalLayerEstimate
+
+#: Energy component labels, in the exact order ``layer_energy`` emits them
+#: (the order matters: totals are summed in it, term by term).
+ENERGY_COMPONENTS: Tuple[str, ...] = (
+    "multiplier",
+    "accumulator",
+    "scatter crossbar",
+    "activation RAM",
+    "weight buffer",
+    "index handling",
+    "halo exchange",
+    "DRAM",
+    "static / control",
+)
+
+
+@dataclass(frozen=True)
+class CycleGrid:
+    """Cycle-model metrics of one config over a (layers x densities) grid."""
+
+    cycles: np.ndarray
+    products: np.ndarray
+    multiplier_utilization: np.ndarray
+    idle_fraction: np.ndarray
+
+
+def _density_grid(
+    value: np.ndarray, layers: int, points: int, name: str
+) -> np.ndarray:
+    """Broadcast a density argument to the ``(layers, points)`` grid shape."""
+    array = np.asarray(value, dtype=np.float64)
+    if array.ndim == 0:
+        array = array.reshape(1, 1)
+    elif array.ndim == 1:
+        # A 1-D argument is the density axis, shared by every layer.
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ValueError(
+            f"{name} must be at most 2-D (layers x density points), "
+            f"got shape {array.shape}"
+        )
+    return np.broadcast_to(array, (layers, points))
+
+
+def _validate_density(array: np.ndarray, name: str) -> None:
+    if np.any((array <= 0.0) | (array > 1.0)):
+        raise ValueError(f"{name} must be in (0, 1]")
+
+
+def _milli(density: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`repro.timeloop.model.density_milli`."""
+    return np.maximum(1, np.rint(density * 1000).astype(np.int64))
+
+
+def scnn_cycle_grid(
+    specs: Sequence[ConvLayerSpec],
+    config: Union[AcceleratorConfig, str],
+    weight_density: np.ndarray,
+    activation_density: np.ndarray,
+) -> CycleGrid:
+    """Batched :func:`~repro.timeloop.model.estimate_scnn_layer`.
+
+    ``weight_density`` / ``activation_density`` are ``(layers, points)``
+    float grids (use :func:`evaluate_grid` for the friendlier broadcasting
+    front end).  Returns ``(layers, points)`` arrays bitwise-equal to the
+    scalar estimates.
+    """
+    config = resolve_config(config)
+    stack = config_layer_stack(tuple(specs), config)
+    wd = np.asarray(weight_density, dtype=np.float64)
+    ad = np.asarray(activation_density, dtype=np.float64)
+    _validate_density(wd, "weight_density")
+    _validate_density(ad, "activation_density")
+    wd_milli = _milli(wd)
+    ad_milli = _milli(ad)
+
+    weight_vectors = expected_vector_counts(
+        stack.weight_phase_block[:, None], wd_milli, config.multipliers_f
+    )
+    weight_nnz = stack.weight_phase_block[:, None] * wd
+    act_vectors = expected_vector_counts(
+        stack.phase_sizes[:, None, :], ad_milli[:, :, None], config.multipliers_i
+    )
+    act_nnz = stack.phase_sizes[:, None, :] * ad[:, :, None]
+
+    channel_phases = stack.c_connected * stack.phases
+    steps = channel_phases[:, None, None] * act_vectors * weight_vectors[:, :, None]
+    busy = steps * (1.0 + stack.stall_per_step)
+    busy = busy + (steps > 0) * config.drain_overhead_cycles
+    group_cycles = busy.max(axis=2) + config.barrier_overhead_cycles
+    total_cycles = group_cycles * stack.num_groups[:, None]
+
+    products_per = (
+        channel_phases[:, None, None] * act_nnz * weight_nnz[:, :, None]
+    )
+    total_products = products_per.sum(axis=2) * stack.num_groups[:, None]
+    busy_total = busy.sum(axis=2) * stack.num_groups[:, None]
+
+    live = total_cycles > 0
+    utilization = np.zeros_like(total_cycles)
+    np.divide(
+        total_products,
+        total_cycles * stack.num_pes * config.multipliers_per_pe,
+        out=utilization,
+        where=live,
+    )
+    busy_ratio = np.zeros_like(total_cycles)
+    np.divide(busy_total, total_cycles * stack.num_pes, out=busy_ratio, where=live)
+    idle = np.where(live, np.maximum(0.0, 1.0 - busy_ratio), 0.0)
+    return CycleGrid(
+        cycles=total_cycles,
+        products=total_products,
+        multiplier_utilization=utilization,
+        idle_fraction=idle,
+    )
+
+
+def dense_cycle_grid(
+    specs: Sequence[ConvLayerSpec],
+    config: Union[AcceleratorConfig, str],
+) -> CycleGrid:
+    """Batched :func:`~repro.scnn.dcnn.simulate_dcnn_layer` (density-free).
+
+    Returns ``(layers,)`` arrays — the dense baselines perform every multiply
+    regardless of operand values, so there is no density axis to broadcast.
+    """
+    config = resolve_config(config)
+    stack = config_layer_stack(tuple(specs), config)
+    busy = stack.dense_busy
+    cycles = busy.max(axis=1)
+    live = cycles > 0
+    utilization = np.zeros(cycles.shape, dtype=np.float64)
+    np.divide(
+        stack.dense_macs,
+        cycles.astype(np.float64) * stack.num_pes * config.multipliers_per_pe,
+        out=utilization,
+        where=live,
+    )
+    denominator = cycles * stack.num_pes
+    busy_ratio = np.zeros(cycles.shape, dtype=np.float64)
+    np.divide(busy.sum(axis=1), denominator, out=busy_ratio, where=live)
+    idle = np.where(live, np.maximum(0.0, 1.0 - busy_ratio), 0.0)
+    return CycleGrid(
+        cycles=cycles,
+        products=stack.dense_macs,
+        multiplier_utilization=utilization,
+        idle_fraction=idle,
+    )
+
+
+def energy_grid(
+    specs: Sequence[ConvLayerSpec],
+    config: Union[AcceleratorConfig, str],
+    *,
+    weight_density: np.ndarray,
+    activation_density: np.ndarray,
+    output_density: np.ndarray,
+    cycles: np.ndarray,
+    products: Optional[np.ndarray] = None,
+    weight_buffer_reads: Optional[np.ndarray] = None,
+    table: EnergyTable = DEFAULT_ENERGY_TABLE,
+) -> Dict[str, np.ndarray]:
+    """Batched :func:`~repro.timeloop.energy.layer_energy_from_densities`.
+
+    All array arguments are ``(layers, points)`` grids (``cycles`` integer).
+    Returns the component arrays keyed as ``layer_energy`` keys them, plus a
+    ``"total"`` entry summed in the same term order — every element bitwise
+    equal to the scalar breakdown.
+    """
+    config = resolve_config(config)
+    stack = config_layer_stack(tuple(specs), config)
+    wd = np.asarray(weight_density, dtype=np.float64)
+    ad = np.asarray(activation_density, dtype=np.float64)
+    od = np.asarray(output_density, dtype=np.float64)
+    cycles = np.asarray(cycles)
+    shape = np.broadcast_shapes(wd.shape, ad.shape, od.shape, cycles.shape)
+    zeros = np.zeros(shape, dtype=np.int64)
+
+    nnz_weights = np.rint(stack.weight_values[:, None] * wd).astype(np.int64)
+    nnz_inputs = np.rint(stack.input_values[:, None] * ad).astype(np.int64)
+    nnz_outputs = np.rint(stack.output_values[:, None] * od).astype(np.int64)
+    if products is None:
+        products = np.rint(
+            stack.dense_macs[:, None] * wd * ad
+        ).astype(np.int64)
+    num_groups = stack.num_groups[:, None]
+    capacity = config.activation_sram_bytes // 2
+    dataflow = config.dataflow
+
+    multiplies = zeros
+    gated_multiplies = zeros
+    accumulator_updates = zeros
+    crossbar_products = zeros
+    iaram_reads = zeros
+    oaram_writes = zeros
+    dense_sram_reads = zeros
+    dense_sram_writes = zeros
+    index_accesses = zeros
+    halo_transfers = zeros
+    pe_cycles = cycles * config.num_pes
+
+    if dataflow.is_sparse:
+        multiplies = products
+        accumulator_updates = products
+        crossbar_products = products
+        iaram_reads = nnz_inputs * num_groups
+        oaram_writes = nnz_outputs
+        if weight_buffer_reads is None:
+            act_vectors = np.maximum(1, -(-nnz_inputs // config.multipliers_i))
+            weight_buffer_reads = nnz_weights * np.maximum(
+                1, act_vectors // np.maximum(1, stack.in_channels[:, None])
+            )
+        index_accesses = iaram_reads + weight_buffer_reads
+        halo_transfers = (
+            0.1 * config.output_channel_group * num_groups * config.num_pes * 16
+        ).astype(np.int64)
+        factor = 1.0 + config.index_bits / 16.0
+        dram_values = (nnz_weights * factor).astype(np.int64)
+        fits = (
+            (nnz_inputs * 1.3).astype(np.int64)
+            + (nnz_outputs * 1.3).astype(np.int64)
+        ) <= capacity
+        dram_values = dram_values + np.where(
+            fits, 0, ((nnz_inputs + nnz_outputs) * factor).astype(np.int64)
+        )
+    else:
+        dense_macs = np.broadcast_to(stack.dense_macs[:, None], shape)
+        if dataflow.gates_zero_operands:
+            multiplies = products
+            gated_multiplies = dense_macs - products
+        else:
+            multiplies = dense_macs
+        accumulator_updates = stack.dense_macs[:, None] // max(
+            1, config.multipliers_f
+        )
+        dense_sram_reads = stack.input_values[:, None] * num_groups
+        dense_sram_writes = np.broadcast_to(stack.output_values[:, None], shape)
+        weight_buffer_reads = stack.dense_macs[:, None] // max(
+            1, config.multipliers_i
+        )
+        fits = (stack.input_values + stack.output_values)[:, None] <= capacity
+        if dataflow.compresses_dram_traffic:
+            spill = ((nnz_inputs + nnz_outputs) * (1.0 + 4.0 / 16.0)).astype(
+                np.int64
+            )
+        else:
+            spill = (stack.input_values + stack.output_values)[:, None]
+        dram_values = stack.weight_values[:, None] + np.where(fits, 0, spill)
+
+    components = {
+        "multiplier": multiplies * table.multiply,
+        "accumulator": accumulator_updates * table.accumulator_update,
+        "scatter crossbar": crossbar_products * table.crossbar,
+        "activation RAM": (
+            iaram_reads * table.iaram_read
+            + oaram_writes * table.oaram_write
+            + dense_sram_reads * table.dense_sram_read
+            + dense_sram_writes * table.dense_sram_write
+        ),
+        "weight buffer": weight_buffer_reads * table.weight_buffer_read,
+        "index handling": index_accesses * table.index_access,
+        "halo exchange": halo_transfers * table.halo_transfer,
+        "DRAM": dram_values * table.dram,
+        "static / control": pe_cycles * table.pe_cycle,
+    }
+    total = None
+    for name in ENERGY_COMPONENTS:
+        term = components[name]
+        total = term if total is None else total + term
+    grids = {
+        name: np.broadcast_to(np.asarray(value, dtype=np.float64), shape)
+        for name, value in components.items()
+    }
+    grids["total"] = np.broadcast_to(np.asarray(total, dtype=np.float64), shape)
+    return grids
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Metrics of one whole-grid evaluation.
+
+    Every metric array has shape ``(configs, layers, points)``; the density
+    grids have shape ``(layers, points)``.  The scalar views
+    (:meth:`estimate`, :meth:`energy_breakdown`) materialise the exact
+    dataclasses the per-config oracle returns for any single cell.
+    """
+
+    specs: Tuple[ConvLayerSpec, ...]
+    configs: Tuple[AcceleratorConfig, ...]
+    weight_density: np.ndarray
+    activation_density: np.ndarray
+    output_density: np.ndarray
+    cycles: np.ndarray
+    products: np.ndarray
+    multiplier_utilization: np.ndarray
+    idle_fraction: np.ndarray
+    energy: np.ndarray
+    energy_components: Dict[str, np.ndarray]
+
+    @property
+    def cells(self) -> int:
+        """Total number of evaluated (config, layer, point) cells."""
+        return int(np.prod(self.cycles.shape))
+
+    def config_index(self, config: Union[int, str]) -> int:
+        """Index of a config by position or name (with a catalogue error)."""
+        if isinstance(config, int):
+            return config
+        for index, candidate in enumerate(self.configs):
+            if candidate.name == config:
+                return index
+        known = ", ".join(repr(c.name) for c in self.configs) or "(none)"
+        raise KeyError(
+            f"no evaluated configuration named {config!r}; "
+            f"this grid evaluated: {known}"
+        )
+
+    def layer_index(self, layer: Union[int, str]) -> int:
+        """Index of a layer by position or spec name (with a catalogue error)."""
+        if isinstance(layer, int):
+            return layer
+        for index, spec in enumerate(self.specs):
+            if spec.name == layer:
+                return index
+        known = ", ".join(repr(s.name) for s in self.specs) or "(none)"
+        raise KeyError(
+            f"no evaluated layer named {layer!r}; this grid evaluated: {known}"
+        )
+
+    def estimate(
+        self, config: Union[int, str], layer: Union[int, str], point: int = 0
+    ) -> AnalyticalLayerEstimate:
+        """One cell as the scalar model's :class:`AnalyticalLayerEstimate`."""
+        c = self.config_index(config)
+        s = self.layer_index(layer)
+        return AnalyticalLayerEstimate(
+            spec_name=self.specs[s].name,
+            config_name=self.configs[c].name,
+            cycles=float(self.cycles[c, s, point]),
+            products=float(self.products[c, s, point]),
+            multiplier_utilization=float(
+                self.multiplier_utilization[c, s, point]
+            ),
+            idle_fraction=float(self.idle_fraction[c, s, point]),
+        )
+
+    def energy_breakdown(
+        self, config: Union[int, str], layer: Union[int, str], point: int = 0
+    ) -> EnergyBreakdown:
+        """One cell as the scalar model's :class:`EnergyBreakdown`."""
+        c = self.config_index(config)
+        s = self.layer_index(layer)
+        return EnergyBreakdown(
+            config_name=self.configs[c].name,
+            components={
+                name: float(self.energy_components[name][c, s, point])
+                for name in ENERGY_COMPONENTS
+            },
+        )
+
+    def total_cycles(self, config: Union[int, str], point: int = 0) -> float:
+        """Cycles of one config summed over every layer, in layer order."""
+        c = self.config_index(config)
+        total = 0.0
+        for s in range(len(self.specs)):
+            total += self.cycles[c, s, point]
+        return float(total)
+
+    def total_energy(self, config: Union[int, str], point: int = 0) -> float:
+        """Energy of one config summed over every layer, in layer order."""
+        c = self.config_index(config)
+        total = 0.0
+        for s in range(len(self.specs)):
+            total += self.energy[c, s, point]
+        return float(total)
+
+
+def evaluate_grid(
+    specs: Sequence[ConvLayerSpec],
+    configs: Sequence[Union[AcceleratorConfig, str]],
+    *,
+    weight_density,
+    activation_density,
+    output_density=None,
+    energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+    model: str = "auto",
+) -> GridResult:
+    """Evaluate the whole arch x workload x density grid in one call.
+
+    ``weight_density`` / ``activation_density`` accept a scalar, a 1-D
+    density axis (shared by every layer — the Figure 7 shape), or a
+    ``(layers, points)`` grid (per-layer densities — the DSE shape).
+    ``output_density`` defaults to the activation density (one layer's
+    outputs feed the next layer's input stream).
+
+    ``model`` selects the cycle model per config: ``"auto"`` dispatches on
+    the dataflow (sparse configs get the SCNN analytical model, dense ones
+    the DCNN baseline model — the Figure 7 convention), ``"scnn"`` forces
+    the sparse analytical model for every config (the DSE convention), and
+    ``"dense"`` forces the dense baseline model.
+    """
+    if model not in ("auto", "scnn", "dense"):
+        raise ValueError(
+            f"model must be 'auto', 'scnn' or 'dense', got {model!r}"
+        )
+    specs = tuple(specs)
+    resolved = tuple(resolve_config(config) for config in configs)
+    layers = len(specs)
+    wd_raw = np.asarray(weight_density, dtype=np.float64)
+    ad_raw = np.asarray(activation_density, dtype=np.float64)
+    points = int(
+        np.broadcast_shapes(
+            np.atleast_2d(wd_raw).shape, np.atleast_2d(ad_raw).shape
+        )[-1]
+    )
+    wd = _density_grid(wd_raw, layers, points, "weight_density")
+    ad = _density_grid(ad_raw, layers, points, "activation_density")
+    _validate_density(wd, "weight_density")
+    _validate_density(ad, "activation_density")
+    if output_density is None:
+        od = ad
+    else:
+        od = _density_grid(
+            np.asarray(output_density, dtype=np.float64),
+            layers,
+            points,
+            "output_density",
+        )
+
+    shape = (len(resolved), layers, points)
+    cycles = np.zeros(shape)
+    products = np.zeros(shape)
+    utilization = np.zeros(shape)
+    idle = np.zeros(shape)
+    energy = np.zeros(shape)
+    energy_components = {name: np.zeros(shape) for name in ENERGY_COMPONENTS}
+    for c, config in enumerate(resolved):
+        use_dense = model == "dense" or (model == "auto" and not config.is_sparse)
+        if use_dense:
+            dense = dense_cycle_grid(specs, config)
+            cycles[c] = dense.cycles.astype(np.float64)[:, None]
+            products[c] = dense.products.astype(np.float64)[:, None]
+            utilization[c] = dense.multiplier_utilization[:, None]
+            idle[c] = dense.idle_fraction[:, None]
+            energy_cycles = np.broadcast_to(
+                dense.cycles[:, None], (layers, points)
+            )
+        else:
+            sparse = scnn_cycle_grid(specs, config, wd, ad)
+            cycles[c] = sparse.cycles
+            products[c] = sparse.products
+            utilization[c] = sparse.multiplier_utilization
+            idle[c] = sparse.idle_fraction
+            # The scalar path hands the energy model int(estimate.cycles).
+            energy_cycles = sparse.cycles.astype(np.int64)
+        breakdown = energy_grid(
+            specs,
+            config,
+            weight_density=wd,
+            activation_density=ad,
+            output_density=od,
+            cycles=energy_cycles,
+            table=energy_table,
+        )
+        energy[c] = breakdown["total"]
+        for name in ENERGY_COMPONENTS:
+            energy_components[name][c] = breakdown[name]
+    return GridResult(
+        specs=specs,
+        configs=resolved,
+        weight_density=wd,
+        activation_density=ad,
+        output_density=od,
+        cycles=cycles,
+        products=products,
+        multiplier_utilization=utilization,
+        idle_fraction=idle,
+        energy=energy,
+        energy_components=energy_components,
+    )

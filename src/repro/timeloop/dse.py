@@ -17,7 +17,9 @@ design points.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.nn.densities import network_sparsity
 from repro.nn.networks import Network
@@ -106,18 +108,96 @@ def evaluate_config(
     )
 
 
+def sweep_densities(
+    network: Network, sparsity=None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-layer ``(layers, 1)`` density grids in the sweep's convention.
+
+    Output density is the successor layer's activation density (one layer's
+    outputs are the next layer's input stream); the final layer falls back
+    to the 0.55 post-ReLU average the paper quotes.
+    """
+    sparsity = sparsity if sparsity is not None else network_sparsity(network)
+    specs = list(network.layers)
+    weight = np.array(
+        [[sparsity[spec.name].weight_density] for spec in specs]
+    )
+    activation = np.array(
+        [[sparsity[spec.name].activation_density] for spec in specs]
+    )
+    output = np.array(
+        [
+            [
+                sparsity[specs[index + 1].name].activation_density
+                if index + 1 < len(specs)
+                else 0.55
+            ]
+            for index in range(len(specs))
+        ]
+    )
+    return weight, activation, output
+
+
+def evaluate_configs(
+    configs: Sequence[AcceleratorConfig],
+    network: Network,
+    *,
+    sparsity=None,
+    energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+    grid=None,
+) -> List[DesignPoint]:
+    """Batched :func:`evaluate_config`: every candidate in one grid pass.
+
+    The whole configs x layers grid is evaluated through
+    :func:`repro.grid.evaluate_grid` (the analytical SCNN model for every
+    candidate, exactly as the per-config loop uses it); the resulting design
+    points are bitwise-identical to ``evaluate_config`` of each candidate.
+    ``grid`` injects an already-evaluated :class:`repro.grid.GridResult`
+    covering ``configs`` in order (the engine passes its cached one).
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    if grid is None:
+        from repro.grid import evaluate_grid
+
+        weight, activation, output = sweep_densities(network, sparsity)
+        grid = evaluate_grid(
+            list(network.layers),
+            configs,
+            weight_density=weight,
+            activation_density=activation,
+            output_density=output,
+            energy_table=energy_table,
+            model="scnn",
+        )
+    return [
+        DesignPoint(
+            config=config,
+            cycles=grid.total_cycles(index),
+            energy=grid.total_energy(index),
+            area_mm2=accelerator_area_mm2(config),
+        )
+        for index, config in enumerate(configs)
+    ]
+
+
 def sweep(
     configs: Iterable[AcceleratorConfig],
     network: Network,
     *,
     energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
     parallel: int | None = None,
+    batched: bool = True,
 ) -> List[DesignPoint]:
     """Evaluate every candidate configuration on ``network``.
 
-    With ``parallel=N`` the candidates are sharded across the shared
-    simulation engine's process pool and served from its result cache;
-    results are identical to the serial loop either way.
+    The serial path evaluates the whole candidate grid in one batched pass
+    (:func:`evaluate_configs`); ``batched=False`` keeps the original
+    per-config loop as the equivalence oracle.  With ``parallel=N`` the
+    candidates are sharded across the shared simulation engine's process
+    pool and served from its result cache; results are identical on every
+    path.
     """
     configs = list(configs)
     if parallel is not None and parallel not in (0, 1):
@@ -126,6 +206,8 @@ def sweep(
         return default_engine().sweep(
             configs, network, energy_table=energy_table, parallel=parallel
         )
+    if batched:
+        return evaluate_configs(configs, network, energy_table=energy_table)
     return [
         evaluate_config(config, network, energy_table=energy_table)
         for config in configs

@@ -10,11 +10,17 @@ multiplier array shape, accumulator banking).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Union
 
 import numpy as np
+
+try:  # scipy stays optional on the scalar path; see _log_comb.
+    from scipy.special import gammaln as _gammaln
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _gammaln = None
 
 from repro.arch.registry import resolve_config
 from repro.dataflow.tiling import plan_layer
@@ -66,9 +72,22 @@ def _expected_vector_count(elements: int, density_milli: int, width: int) -> flo
 
 
 def _log_comb(n: int, k: np.ndarray) -> np.ndarray:
-    from scipy.special import gammaln
+    """log C(n, k) via log-gamma (scipy when present, math.lgamma otherwise)."""
+    if _gammaln is not None:
+        return _gammaln(n + 1) - _gammaln(k + 1) - _gammaln(n - k + 1)
+    lgamma = np.vectorize(math.lgamma, otypes=[np.float64])
+    return lgamma(n + 1) - lgamma(k + 1) - lgamma(n - k + 1)
 
-    return gammaln(n + 1) - gammaln(k + 1) - gammaln(n - k + 1)
+
+def density_milli(density: float) -> int:
+    """Quantise a validated density in (0, 1] to thousandths, floored at 1.
+
+    The floor matters: a nonzero density below 0.0005 would otherwise round
+    to 0 and :func:`_expected_vector_count` would report zero expected
+    fetches — zero cycles for real work.  One milli is the model's density
+    resolution, so near-zero densities saturate at it instead of vanishing.
+    """
+    return max(1, int(round(density * 1000)))
 
 
 def estimate_scnn_layer(
@@ -112,8 +131,8 @@ def estimate_scnn_layer(
     group_channels = min(config.output_channel_group, spec.out_channels)
     weight_block = group_channels * spec.filter_height * spec.filter_width
     weight_phase_block = max(1, int(round(weight_block / phases)))
-    wd_milli = int(round(weight_density * 1000))
-    ad_milli = int(round(activation_density * 1000))
+    wd_milli = density_milli(weight_density)
+    ad_milli = density_milli(activation_density)
     weight_vectors = _expected_vector_count(weight_phase_block, wd_milli, f_width)
     weight_nnz = weight_phase_block * weight_density
 

@@ -90,3 +90,30 @@ class TestSweepAndPareto:
         assert rows[0][1:] == (1.0, 1.0, 1.0)
         assert len(rows) == 2
         assert summarize([]) == []
+
+
+class TestBatchedSweep:
+    def test_batched_matches_per_config_oracle(self, small_network):
+        candidates = default_candidates()
+        batched = sweep(candidates, small_network)
+        oracle = sweep(candidates, small_network, batched=False)
+        for ours, theirs in zip(batched, oracle):
+            assert ours.config == theirs.config
+            assert ours.cycles == theirs.cycles
+            assert ours.energy == theirs.energy
+            assert ours.area_mm2 == theirs.area_mm2
+
+    def test_batched_respects_sparsity_override(self, small_network, small_sparsity):
+        from repro.timeloop.dse import evaluate_configs
+
+        points = evaluate_configs(
+            [SCNN_CONFIG], small_network, sparsity=small_sparsity
+        )
+        reference = evaluate_config(
+            SCNN_CONFIG, small_network, sparsity=small_sparsity
+        )
+        assert points[0].cycles == reference.cycles
+        assert points[0].energy == reference.energy
+
+    def test_empty_candidate_list(self, small_network):
+        assert sweep([], small_network) == []

@@ -1,0 +1,244 @@
+"""The batched grid evaluator must match the per-config oracle bitwise.
+
+Every test here compares :mod:`repro.grid` output against the scalar models
+(``estimate_scnn_layer`` / ``estimate_dense_layer`` /
+``layer_energy_from_densities`` / ``_expected_vector_count``) with exact
+``==`` — no tolerances — across randomized shapes that include stride > 1,
+groups > 1, degenerate 1x1 layers and near-zero densities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.registry import default_registry, resolve_config
+from repro.grid import (
+    dense_cycle_grid,
+    energy_grid,
+    evaluate_grid,
+    expected_vector_counts,
+    scnn_cycle_grid,
+)
+from repro.nn.layers import ConvLayerSpec
+from repro.timeloop.energy import layer_energy_from_densities
+from repro.timeloop.model import (
+    _expected_vector_count,
+    density_milli,
+    estimate_dense_layer,
+    estimate_scnn_layer,
+)
+
+
+def _random_specs(rng, count=6):
+    """Random layer shapes covering stride, groups and 1x1 degeneracies."""
+    specs = [
+        # Degenerate pointwise layer on a single pixel.
+        ConvLayerSpec("pt1x1", 64, 32, 1, 1, 1, 1),
+        # Strided grouped conv with uneven spatial extent.
+        ConvLayerSpec("odd", 48, 96, 7, 5, 3, 3, stride=2, groups=2),
+    ]
+    for index in range(count - len(specs)):
+        groups = int(rng.choice([1, 1, 2, 4]))
+        in_channels = int(rng.choice([16, 32, 48])) * groups
+        specs.append(
+            ConvLayerSpec(
+                f"rand{index}",
+                in_channels,
+                int(rng.choice([16, 32, 64])),
+                int(rng.integers(3, 30)),
+                int(rng.integers(3, 30)),
+                int(rng.choice([1, 3, 5])),
+                int(rng.choice([1, 3])),
+                stride=int(rng.choice([1, 1, 2])),
+                groups=groups,
+                padding=int(rng.choice([0, 1])),
+            )
+        )
+    return specs
+
+
+class TestExpectedVectorCounts:
+    def test_matches_scalar_kernel_over_random_triples(self):
+        rng = np.random.default_rng(7)
+        elements = rng.integers(0, 900, size=300)
+        milli = rng.integers(0, 1100, size=300)  # includes 0 and > 1000
+        width = rng.integers(1, 9, size=300)
+        batched = expected_vector_counts(elements, milli, width)
+        for e, m, w, got in zip(elements, milli, width, batched):
+            assert got == _expected_vector_count(int(e), int(m), int(w))
+
+    def test_broadcasts_like_numpy(self):
+        out = expected_vector_counts(
+            np.array([[64], [128]]), np.array([100, 500, 1000]), 4
+        )
+        assert out.shape == (2, 3)
+        assert out[1, 2] == _expected_vector_count(128, 1000, 4)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="width"):
+            expected_vector_counts(64, 500, 0)
+
+
+class TestDensityMilliRegression:
+    def test_near_zero_density_floors_at_one_milli(self):
+        # Regression: 1e-4 used to round to 0 milli, yielding zero expected
+        # fetches — zero cycles for real work.
+        assert density_milli(1e-4) == 1
+        assert density_milli(0.0004) == 1
+        assert density_milli(0.0016) == 2
+
+    def test_near_zero_density_yields_positive_cycles(self):
+        spec = ConvLayerSpec("tiny-density", 64, 64, 14, 14, 3, 3, padding=1)
+        estimate = estimate_scnn_layer(
+            spec, weight_density=1e-4, activation_density=1e-4
+        )
+        assert estimate.cycles > 0
+
+
+class TestCycleGridEquivalence:
+    @pytest.mark.parametrize("config_name", ["SCNN", "SCNN-16PE", "SCNN-SparseW"])
+    def test_scnn_grid_matches_scalar_estimates(self, config_name):
+        rng = np.random.default_rng(11)
+        specs = _random_specs(rng)
+        config = resolve_config(config_name)
+        wd = np.array([0.0003, 0.15, 0.62, 1.0])
+        ad = np.array([0.31, 0.0004, 0.88, 1.0])
+        grid_wd = np.broadcast_to(wd, (len(specs), len(wd)))
+        grid_ad = np.broadcast_to(ad, (len(specs), len(ad)))
+        grid = scnn_cycle_grid(specs, config, grid_wd, grid_ad)
+        for s, spec in enumerate(specs):
+            for d in range(len(wd)):
+                ref = estimate_scnn_layer(
+                    spec,
+                    weight_density=wd[d],
+                    activation_density=ad[d],
+                    config=config,
+                )
+                assert float(grid.cycles[s, d]) == ref.cycles
+                assert float(grid.products[s, d]) == ref.products
+                assert (
+                    float(grid.multiplier_utilization[s, d])
+                    == ref.multiplier_utilization
+                )
+                assert float(grid.idle_fraction[s, d]) == ref.idle_fraction
+
+    @pytest.mark.parametrize("config_name", ["DCNN", "DCNN-opt"])
+    def test_dense_grid_matches_scalar_estimates(self, config_name):
+        rng = np.random.default_rng(13)
+        specs = _random_specs(rng)
+        grid = dense_cycle_grid(specs, config_name)
+        for s, spec in enumerate(specs):
+            ref = estimate_dense_layer(spec, config_name)
+            assert float(grid.cycles[s]) == ref.cycles
+            assert float(grid.products[s]) == ref.products
+            assert float(grid.multiplier_utilization[s]) == ref.multiplier_utilization
+            assert float(grid.idle_fraction[s]) == ref.idle_fraction
+
+    def test_rejects_out_of_range_density(self):
+        specs = _random_specs(np.random.default_rng(0), count=3)
+        with pytest.raises(ValueError, match="weight_density"):
+            scnn_cycle_grid(specs, "SCNN", np.array([[0.0]]), np.array([[0.5]]))
+
+
+class TestEnergyGridEquivalence:
+    def test_every_registered_config_matches_scalar_breakdown(self):
+        rng = np.random.default_rng(17)
+        specs = _random_specs(rng)
+        wd = np.array([0.001, 0.4, 1.0])
+        ad = np.array([0.25, 0.0002, 1.0])
+        od = np.array([0.3, 0.5, 1.0])
+        cycles = rng.integers(1, 10_000_000, size=(len(specs), len(wd)))
+        for name in default_registry().names():
+            config = resolve_config(name)
+            grids = energy_grid(
+                specs,
+                config,
+                weight_density=np.broadcast_to(wd, cycles.shape),
+                activation_density=np.broadcast_to(ad, cycles.shape),
+                output_density=np.broadcast_to(od, cycles.shape),
+                cycles=cycles,
+            )
+            for s, spec in enumerate(specs):
+                for d in range(len(wd)):
+                    ref = layer_energy_from_densities(
+                        spec,
+                        config,
+                        weight_density=wd[d],
+                        activation_density=ad[d],
+                        output_density=od[d],
+                        cycles=int(cycles[s, d]),
+                    )
+                    assert float(grids["total"][s, d]) == ref.total
+                    for component, value in ref.components.items():
+                        assert float(grids[component][s, d]) == value
+
+
+class TestEvaluateGrid:
+    def test_full_grid_matches_oracle_cell_for_cell(self):
+        rng = np.random.default_rng(19)
+        specs = _random_specs(rng, count=5)
+        configs = ["SCNN", "DCNN", "DCNN-opt"]
+        densities = np.array([0.0001, 0.35, 0.9, 1.0])
+        grid = evaluate_grid(
+            specs,
+            configs,
+            weight_density=0.42,
+            activation_density=densities,
+            model="auto",
+        )
+        for c, name in enumerate(configs):
+            config = resolve_config(name)
+            for s, spec in enumerate(specs):
+                for d, density in enumerate(densities):
+                    if config.is_sparse:
+                        ref = estimate_scnn_layer(
+                            spec,
+                            weight_density=0.42,
+                            activation_density=density,
+                            config=config,
+                        )
+                    else:
+                        ref = estimate_dense_layer(spec, config)
+                    assert grid.estimate(c, s, d) == ref
+                    energy_ref = layer_energy_from_densities(
+                        spec,
+                        config,
+                        weight_density=0.42,
+                        activation_density=density,
+                        output_density=density,
+                        cycles=int(ref.cycles),
+                    )
+                    assert float(grid.energy[c, s, d]) == energy_ref.total
+
+    def test_forced_scnn_model_covers_dense_configs(self):
+        # The DSE convention: the analytical SCNN model for every candidate.
+        specs = _random_specs(np.random.default_rng(23), count=3)
+        grid = evaluate_grid(
+            specs,
+            ["DCNN"],
+            weight_density=0.4,
+            activation_density=0.35,
+            model="scnn",
+        )
+        for s, spec in enumerate(specs):
+            ref = estimate_scnn_layer(
+                spec, weight_density=0.4, activation_density=0.35, config="DCNN"
+            )
+            assert grid.estimate(0, s, 0) == ref
+
+    def test_rejects_unknown_model(self):
+        specs = _random_specs(np.random.default_rng(0), count=2)
+        with pytest.raises(ValueError, match="model"):
+            evaluate_grid(
+                specs, ["SCNN"], weight_density=0.5, activation_density=0.5,
+                model="magic",
+            )
+
+    def test_named_lookup_errors_list_catalogue(self):
+        specs = _random_specs(np.random.default_rng(0), count=2)
+        grid = evaluate_grid(
+            specs, ["SCNN"], weight_density=0.5, activation_density=0.5
+        )
+        with pytest.raises(KeyError, match="SCNN"):
+            grid.config_index("NOPE")
+        with pytest.raises(KeyError, match="pt1x1"):
+            grid.layer_index("NOPE")

@@ -177,3 +177,27 @@ def test_phase_counts_always_partition(channels, extent, stride, density, seed):
     phases = activation_phase_nonzeros(activations, plan, stride, spec.padding)
     assert phases.sum() == np.count_nonzero(activations)
     assert (phases >= 0).all()
+
+
+class TestPlanMemoisation:
+    def test_repeated_plans_are_the_same_object(self):
+        spec = ConvLayerSpec("memo", 16, 32, 14, 14, 3, 3, padding=1)
+        first = plan_layer(spec, num_pes=16, group_size=8)
+        second = plan_layer(spec, num_pes=16, group_size=8)
+        assert first is second
+
+    def test_distinct_grid_parameters_plan_separately(self):
+        spec = ConvLayerSpec("memo2", 16, 32, 14, 14, 3, 3, padding=1)
+        assert plan_layer(spec, num_pes=16, group_size=8) is not plan_layer(
+            spec, num_pes=4, group_size=8
+        )
+        assert plan_layer(spec, num_pes=16, group_size=8) is not plan_layer(
+            spec, num_pes=16, group_size=4
+        )
+
+    def test_explicit_grid_matches_default_factorisation(self):
+        spec = ConvLayerSpec("memo3", 16, 32, 14, 14, 3, 3, padding=1)
+        rows, cols = pe_grid_for(16)
+        assert plan_layer(spec, num_pes=16, group_size=8) is plan_layer(
+            spec, num_pes=16, group_size=8, pe_rows=rows, pe_cols=cols
+        )
