@@ -9,8 +9,9 @@ Three structural checks, all CI-enforced:
   break even when no link points at it yet;
 * every public module, class, function and method in the docstring-gated
   packages (``src/repro/arch``, ``src/repro/engine``, ``src/repro/grid``,
-  ``src/repro/workloads``) must carry a docstring.  Private names (leading
-  underscore), dunders and ``@property`` accessors are exempt.
+  ``src/repro/service``, ``src/repro/workloads``) must carry a docstring.
+  Private names (leading underscore), dunders and ``@property`` accessors
+  are exempt.
 
 Exit status: 0 when every check passes, 1 otherwise (failures are listed
 on stderr).
@@ -43,6 +44,7 @@ DOCSTRING_GATED_DIRS = (
     "src/repro/arch",
     "src/repro/engine",
     "src/repro/grid",
+    "src/repro/service",
     "src/repro/workloads",
 )
 

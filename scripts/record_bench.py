@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Record the whole-grid batched-evaluator benchmark (``BENCH_whole_grid.json``).
+"""Record repeatable performance benchmarks as JSON at the repo root.
 
-Times a Figure-7-style density sweep (every layer of a catalogue network x a
-density axis x the SCNN/DCNN/DCNN-opt trio) three ways:
+``--bench whole_grid`` (default, ``BENCH_whole_grid.json``) times a
+Figure-7-style density sweep (every layer of a catalogue network x a density
+axis x the SCNN/DCNN/DCNN-opt trio) three ways:
 
 * ``per_config_loop_s`` — the scalar oracle loop (``fig7.run(batched=False)``),
   one analytical model call per (layer, density, config) cell;
@@ -13,8 +14,22 @@ density axis x the SCNN/DCNN/DCNN-opt trio) three ways:
 
 Every timing section first asserts the batched sweep is element-for-element
 identical to the oracle loop, so the recorded speedup is never bought with a
-numerical divergence.  ``--smoke`` shrinks the grid for CI; the committed
-``BENCH_whole_grid.json`` at the repo root is a full run.
+numerical divergence.
+
+``--bench service_scaleout`` (``BENCH_service_scaleout.json``) measures the
+service's worker tiers against each other:
+
+* **distinct drain** — N distinct ``network`` jobs drained by 4 workers in
+  thread mode vs process mode (wall-clock each, plus the ratio — read it
+  alongside ``cpu_count``: forked workers can only beat the GIL when the
+  machine has cores for them);
+* **coalescing** — N identical jobs submitted together must run **exactly
+  one** simulation (coalesce counter = N-1) and fan the bitwise-identical
+  payload out to every submission, in both modes, with the thread-mode
+  payloads as the equivalence oracle for process mode.
+
+``--smoke`` shrinks either benchmark for CI; the committed records at the
+repo root are full runs.
 """
 
 from __future__ import annotations
@@ -93,29 +108,182 @@ def run_benchmark(network_name: str, density_points: int) -> dict:
     }
 
 
+def _drain(service, job_ids, timeout_s=900.0):
+    """Block until every job id is terminal; raises on timeout."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if all(service.job(job_id).is_terminal for job_id in job_ids):
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"jobs did not drain within {timeout_s:.0f}s")
+
+
+def _timed_distinct_drain(mode: str, jobs: int, workers: int) -> float:
+    """Wall-clock for ``workers`` ``mode``-workers to drain ``jobs`` distinct jobs.
+
+    Jobs are submitted *before* the worker tier starts, so the timing
+    window covers pure drain (including process-mode fork overhead) rather
+    than submission interleaving.
+    """
+    from repro.engine import SimulationEngine
+    from repro.service import SimulationService, default_registry
+
+    service = SimulationService(
+        engine=SimulationEngine(cache_dir=False),
+        registry=default_registry(),
+        num_workers=workers,
+        mode=mode,
+    )
+    submitted = [
+        service.submit("network", {"network": "alexnet", "seed": seed})
+        for seed in range(jobs)
+    ]
+    start = time.perf_counter()
+    service.start()
+    try:
+        _drain(service, [job.id for job in submitted])
+        elapsed = time.perf_counter() - start
+        states = [service.job(job.id).state for job in submitted]
+        if states != ["done"] * jobs:
+            raise RuntimeError(f"distinct drain left non-done jobs: {states}")
+    finally:
+        service.stop()
+    return elapsed
+
+
+def _coalesced_burst(mode: str, jobs: int, workers: int) -> dict:
+    """Submit ``jobs`` identical requests; returns counters and payloads.
+
+    All submissions land before the workers start, so exactly one leader
+    runs and every other submission is a coalesced follower —
+    deterministically, not racily.
+    """
+    from repro.engine import SimulationEngine
+    from repro.service import SimulationService, default_registry
+
+    service = SimulationService(
+        engine=SimulationEngine(cache_dir=False),
+        registry=default_registry(),
+        num_workers=workers,
+        mode=mode,
+    )
+    submitted = [
+        service.submit("network", {"network": "alexnet", "seed": 0})
+        for _ in range(jobs)
+    ]
+    service.start()
+    try:
+        _drain(service, [job.id for job in submitted])
+        payloads = [
+            json.dumps(service.job(job.id).result, sort_keys=True)
+            for job in submitted
+        ]
+        return {
+            "submissions": jobs,
+            "simulations_run": service.workers.stats()["jobs_completed"],
+            "coalesced": service.coalescer.coalesced,
+            "payloads": payloads,
+        }
+    finally:
+        service.stop()
+
+
+def run_service_benchmark(distinct_jobs: int, identical_jobs: int, workers: int) -> dict:
+    """Time thread vs process worker tiers and verify coalescing semantics."""
+    import os
+
+    distinct_s = {
+        mode: _timed_distinct_drain(mode, distinct_jobs, workers)
+        for mode in ("thread", "process")
+    }
+    bursts = {
+        mode: _coalesced_burst(mode, identical_jobs, workers)
+        for mode in ("thread", "process")
+    }
+    oracle = bursts["thread"]["payloads"]
+    identical_within_modes = all(
+        len(set(burst["payloads"])) == 1 for burst in bursts.values()
+    )
+    identical_across_modes = bursts["process"]["payloads"] == oracle
+    coalesce_exact = all(
+        burst["simulations_run"] == 1
+        and burst["coalesced"] == identical_jobs - 1
+        for burst in bursts.values()
+    )
+    return {
+        "benchmark": "service_scaleout",
+        "scenario": "network (alexnet)",
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "distinct_jobs": distinct_jobs,
+        "thread_distinct_s": round(distinct_s["thread"], 6),
+        "process_distinct_s": round(distinct_s["process"], 6),
+        "speedup_process_vs_thread": round(
+            distinct_s["thread"] / distinct_s["process"], 3
+        ),
+        "identical_jobs": identical_jobs,
+        "coalesce": {
+            mode: {
+                "submissions": bursts[mode]["submissions"],
+                "simulations_run": bursts[mode]["simulations_run"],
+                "coalesced": bursts[mode]["coalesced"],
+            }
+            for mode in bursts
+        },
+        "coalesce_exact": coalesce_exact,
+        "payloads_identical_within_modes": identical_within_modes,
+        "payloads_identical_across_modes": identical_across_modes,
+        "equivalent": (
+            coalesce_exact and identical_within_modes and identical_across_modes
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
 def main(argv=None) -> int:
-    """CLI entry point; exits non-zero if batched and oracle results diverge."""
+    """CLI entry point; exits non-zero on any equivalence failure."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench",
+        choices=("whole_grid", "service_scaleout"),
+        default="whole_grid",
+        help="which benchmark to record (default: whole_grid)",
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small grid for CI (googlenet-stem, 10 densities)",
+        help="shrunken run for CI (smaller grid / fewer jobs)",
     )
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_whole_grid.json",
-        help="where to write the JSON record",
+        default=None,
+        help="where to write the JSON record "
+        "(default: BENCH_<benchmark>.json at the repo root)",
     )
     args = parser.parse_args(argv)
-    if args.smoke:
+    if args.bench == "service_scaleout":
+        if args.smoke:
+            record = run_service_benchmark(
+                distinct_jobs=4, identical_jobs=6, workers=2
+            )
+        else:
+            record = run_service_benchmark(
+                distinct_jobs=16, identical_jobs=16, workers=4
+            )
+    elif args.smoke:
         record = run_benchmark("googlenet-stem", density_points=10)
     else:
         record = run_benchmark("googlenet", density_points=100)
-    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    output = args.output or REPO_ROOT / f"BENCH_{record['benchmark']}.json"
+    output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(record, indent=2))
     if not record["equivalent"]:
-        print("FAIL: batched sweep diverged from the per-config oracle", file=sys.stderr)
+        print(
+            f"FAIL: {record['benchmark']} benchmark failed its equivalence gate",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

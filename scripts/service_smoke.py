@@ -1,32 +1,43 @@
 #!/usr/bin/env python3
-"""Service smoke test: boot ``repro serve``, submit a scenario, check stats.
+"""Service smoke test: boot ``repro serve``, submit scenarios, check stats.
 
 What CI runs to prove the service works as a real process, not just
-in-process under pytest:
+in-process under pytest — in both worker modes:
 
-1. boot ``python -m repro serve --port 0`` as a subprocess and read the
-   bound ephemeral port from its "listening on" line (no probe-then-bind
-   race on shared runners);
+1. boot ``python -m repro serve --port 0 --mode {thread|process}`` as a
+   subprocess and read the bound ephemeral port from its "listening on"
+   line (no probe-then-bind race on shared runners);
 2. poll ``GET /healthz`` until the service answers (bounded wait);
 3. submit one ``network`` scenario through :class:`ServiceClient`, wait,
    and verify the result JSON **round-trips** (parse → dump → parse is
    identical) and carries the expected fields;
-4. resubmit the same scenario and require a nonzero engine cache hit-rate
-   from ``GET /stats``;
-5. shut the server down and fail loudly on any leftover error.
+4. resubmit the same scenario and require it to be served without a second
+   simulation (the payload fast path or a warm engine cache);
+5. optionally (``--burst N``) fire N concurrent duplicate submissions and
+   require every one to return the bitwise-identical payload with the
+   ``/stats`` counters accounting for the whole burst
+   (``jobs_completed + coalesced + fast_path_hits == N``);
+6. shut the server down and fail loudly on any leftover error.
 
 Exit status 0 on success; 1 with a diagnostic (and the server's output) on
 any failure.
+
+Usage::
+
+    python scripts/service_smoke.py                     # thread mode
+    python scripts/service_smoke.py --mode process --workers 2 --burst 8
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import re
 import subprocess
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -57,6 +68,7 @@ def read_server_url(process: subprocess.Popen) -> str:
 
 
 def wait_for_health(client: ServiceClient, process: subprocess.Popen) -> None:
+    """Poll ``/healthz`` until it answers ok (or the server dies)."""
     deadline = time.monotonic() + BOOT_TIMEOUT_S
     while time.monotonic() < deadline:
         if process.poll() is not None:
@@ -71,13 +83,61 @@ def wait_for_health(client: ServiceClient, process: subprocess.Popen) -> None:
     raise RuntimeError(f"/healthz not answering after {BOOT_TIMEOUT_S:.0f}s")
 
 
-def main() -> int:
+def duplicate_burst(client: ServiceClient, burst: int) -> None:
+    """Fire ``burst`` concurrent duplicate submissions; verify dedup."""
+    before = client.stats()
+
+    def one(_):
+        job_id = client.submit("network", {"network": "alexnet", "seed": 1})
+        client.wait(job_id, timeout=JOB_TIMEOUT_S)
+        return json.dumps(client.result(job_id), sort_keys=True)
+
+    with ThreadPoolExecutor(max_workers=min(burst, 16)) as executor:
+        payloads = list(executor.map(one, range(burst)))
+    assert len(set(payloads)) == 1, "duplicate burst returned divergent payloads"
+
+    after = client.stats()
+    ran = after["workers"]["jobs_completed"] - before["workers"]["jobs_completed"]
+    coalesced = after["service"]["coalesced"] - before["service"]["coalesced"]
+    fast = after["service"]["fast_path_hits"] - before["service"]["fast_path_hits"]
+    assert ran + coalesced + fast == burst, (
+        f"burst of {burst} unaccounted for: "
+        f"{ran} ran + {coalesced} coalesced + {fast} fast-path"
+    )
+    assert ran <= 1, f"duplicate burst ran {ran} simulations, expected at most 1"
+    print(
+        f"duplicate burst of {burst}: {ran} simulation(s) ran, "
+        f"{coalesced} coalesced, {fast} fast-path hits, payloads identical"
+    )
+
+
+def main(argv=None) -> int:
+    """Boot the server subprocess, drive the phases, report pass/fail."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mode", choices=("thread", "process"), default="thread",
+        help="worker tier to boot the server with (default: thread)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker count (default: 2)"
+    )
+    parser.add_argument(
+        "--burst", type=int, default=0, metavar="N",
+        help="also fire N concurrent duplicate submissions (default: off)",
+    )
+    args = parser.parse_args(argv)
+
     environment = dict(os.environ)
     environment["PYTHONPATH"] = (
         f"{REPO_ROOT / 'src'}{os.pathsep}{environment.get('PYTHONPATH', '')}"
     ).rstrip(os.pathsep)
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0", "--workers", "2"],
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--workers", str(args.workers),
+            "--mode", args.mode,
+        ],
         cwd=REPO_ROOT,
         env=environment,
         stdout=subprocess.PIPE,
@@ -88,10 +148,11 @@ def main() -> int:
         url = read_server_url(process)
         client = ServiceClient(url)
         wait_for_health(client, process)
-        print(f"server healthy at {url}")
+        print(f"server healthy at {url} ({args.workers} {args.mode} workers)")
 
         scenarios = {entry["name"] for entry in client.scenarios()}
         assert "network" in scenarios, f"catalogue missing 'network': {scenarios}"
+        assert client.health()["mode"] == args.mode
 
         payload = client.run(
             "network", {"network": "alexnet", "seed": 0}, timeout=JOB_TIMEOUT_S
@@ -107,24 +168,51 @@ def main() -> int:
         print(f"network scenario done: speedup {payload['network_speedup']:.2f}x, "
               f"result round-trips ({len(first)} bytes)")
 
-        client.run("network", {"network": "alexnet", "seed": 0}, timeout=JOB_TIMEOUT_S)
+        repeat = client.run(
+            "network", {"network": "alexnet", "seed": 0}, timeout=JOB_TIMEOUT_S
+        )
+        assert json.dumps(repeat, sort_keys=True) == first, (
+            "resubmission diverged from the original payload"
+        )
         stats = client.stats()
-        hits = stats["engine"]["hits"]
-        assert hits > 0, f"expected warm-cache hits on resubmission, stats: {stats}"
-        print(f"resubmission served warm: {hits} cache hit(s), "
-              f"hit-rate {stats['engine']['hit_rate']:.0%}")
+        served_warm = (
+            stats["service"]["fast_path_hits"] + stats["engine"]["hits"]
+        )
+        assert served_warm > 0, (
+            f"expected the resubmission to be served warm, stats: {stats}"
+        )
+        assert stats["workers"]["jobs_completed"] <= 1, (
+            "resubmission cost a second simulation"
+        )
+        print(f"resubmission served warm: {stats['service']['fast_path_hits']} "
+              f"fast-path hit(s), {stats['engine']['hits']} engine hit(s)")
+
+        if args.burst > 0:
+            duplicate_burst(client, args.burst)
+
+        per_worker = client.stats()["workers"]["workers"]
+        assert len(per_worker) == args.workers
+        assert all(worker["alive"] for worker in per_worker), per_worker
         print("service smoke test passed")
         return 0
     except Exception as error:  # noqa: BLE001 - report and fail the job
         print(f"service smoke test FAILED: {error}", file=sys.stderr)
         return 1
     finally:
+        # SIGTERM takes the server's clean-shutdown path (it stops the
+        # worker tier, so process-mode children exit and release the
+        # inherited stdout pipe).  Every read stays bounded anyway: an
+        # orphaned child holding the pipe open must never hang CI.
         process.terminate()
+        output = ""
         try:
-            output, _ = process.communicate(timeout=10)
+            output, _ = process.communicate(timeout=15)
         except subprocess.TimeoutExpired:
             process.kill()
-            output, _ = process.communicate()
+            try:
+                output, _ = process.communicate(timeout=5)
+            except subprocess.TimeoutExpired:
+                output = "(server output unavailable: pipe still held open)"
         if output:
             print("--- server output ---")
             print(output.rstrip())

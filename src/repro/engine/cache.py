@@ -15,8 +15,14 @@ that document addresses a pickle file under the cache root, so
 * bumping :data:`SCHEMA_VERSION` orphans (but does not delete) entries from
   older model revisions; ``ResultCache.clear()`` removes everything.
 
-The cache is safe for concurrent writers: entries are written to a unique
-temporary file and atomically renamed into place.
+The cache is safe for concurrent writers — including writers in *different
+processes* (the service's process-mode worker tier points every forked
+worker at the same root): entries are written to a unique temporary file
+and atomically renamed into place, so readers only ever see complete
+entries.  Write failures (disk full, permissions, a vanished root) degrade
+to cache-less operation: :meth:`ResultCache.put` swallows the ``OSError``
+and counts it in ``write_failures`` rather than failing the simulation
+that produced the value.
 
 An optional ``max_entries`` bound turns the store into an LRU cache: every
 hit touches the entry's mtime, and a put that pushes the store over the
@@ -135,6 +141,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.write_failures = 0
         # Guards the counters, the entry count and eviction — never the
         # get/put payload I/O itself, which is already safe concurrently
         # (reads of complete files, writes via tempfile + atomic rename).
@@ -178,15 +185,32 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` (atomic rename; LRU-evicts past the bound)."""
+        """Store ``value`` under ``key`` (atomic rename; LRU-evicts past the bound).
+
+        An ``OSError`` (disk full, permissions, root removed underneath a
+        long-lived worker) is swallowed and counted in ``write_failures``:
+        losing one cache entry is recoverable, failing the job that
+        computed the value is not.  Pickling errors still raise — they are
+        caller bugs, not environment weather.
+        """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError:
+            with self._lock:
+                self.write_failures += 1
+            return
         is_new = self.max_entries is not None and not path.exists()
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
+        except OSError:
+            Path(tmp_name).unlink(missing_ok=True)
+            with self._lock:
+                self.write_failures += 1
+            return
         except BaseException:
             Path(tmp_name).unlink(missing_ok=True)
             raise

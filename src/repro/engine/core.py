@@ -335,6 +335,7 @@ class SimulationEngine:
                 counters["disk_hits"] = self.disk_cache.hits
                 counters["disk_misses"] = self.disk_cache.misses
                 counters["disk_evictions"] = self.disk_cache.evictions
+                counters["disk_write_failures"] = self.disk_cache.write_failures
                 counters["disk_max_entries"] = self.disk_cache.max_entries
                 hits += self.disk_cache.hits
             counters["hits"] = hits

@@ -12,19 +12,30 @@ The pieces (each its own module, composable without the HTTP layer):
 
 * :mod:`repro.service.jobs` — :class:`JobQueue`: thread-safe priority
   queue with job states (queued → running → done/failed, plus queued-job
-  cancellation), JSON-serializable records, and an optional on-disk
-  journal that survives restarts.
+  cancellation and a running → queued requeue arc for worker-death
+  retries), JSON-serializable records, and an optional on-disk journal
+  that survives restarts.
 * :mod:`repro.service.scenarios` — :class:`ScenarioRegistry`: named,
   parameter-validated request shapes covering the repo's catalogue (single
   layer, full network, DSE sweep, paper-figure regeneration).
-* :mod:`repro.service.worker` — :class:`WorkerPool`: threads draining the
-  queue into the shared engine.
+* :mod:`repro.service.coalesce` — the duplicate-suppression tier:
+  :class:`PayloadStore` (the fast path answering repeat submissions
+  without a worker), :class:`RequestCoalescer` (identical in-flight
+  requests collapse to one simulation) and :class:`CoalescingSink` (fans
+  the one result out to every coalesced follower).
+* :mod:`repro.service.worker` — the worker tier: :class:`WorkerPool`
+  (threads on one warm engine, the equivalence oracle) and
+  :class:`ProcessWorkerPool` (forked engine processes sharing the on-disk
+  cache, with crash detection and retry-once).
 * :mod:`repro.service.server` — :class:`SimulationService` (the
   transport-free composition root) and :class:`ServiceServer` /
-  :func:`create_server` (the stdlib HTTP binding).
+  :func:`create_server` (the stdlib HTTP binding), including
+  backpressure: a bounded queue rejects with 429 + ``Retry-After``
+  (:class:`QueueFullError`).
 * :mod:`repro.service.client` — :class:`ServiceClient`: the
   ``submit``/``wait``/``result`` SDK used by tests, examples and
-  ``repro submit``.
+  ``repro submit``; retries 429s transparently
+  (:class:`BackpressureError`).
 
 Quickstart (in one process; see ``examples/service_client.py``)::
 
@@ -38,7 +49,18 @@ Quickstart (in one process; see ``examples/service_client.py``)::
 See ``docs/service.md`` for the request lifecycle and API reference.
 """
 
-from repro.service.client import JobFailedError, ServiceClient, ServiceError
+from repro.service.client import (
+    BackpressureError,
+    JobFailedError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.coalesce import (
+    CoalescingSink,
+    PayloadStore,
+    RequestCoalescer,
+    payload_key,
+)
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -57,8 +79,14 @@ from repro.service.scenarios import (
     ScenarioRegistry,
     default_registry,
 )
-from repro.service.server import ServiceServer, SimulationService, create_server
-from repro.service.worker import WorkerPool
+from repro.service.server import (
+    SERVICE_MODES,
+    QueueFullError,
+    ServiceServer,
+    SimulationService,
+    create_server,
+)
+from repro.service.worker import ProcessWorkerPool, WorkerPool, engine_config_of
 
 __all__ = [
     "CANCELLED",
@@ -67,10 +95,17 @@ __all__ = [
     "JOB_STATES",
     "QUEUED",
     "RUNNING",
+    "SERVICE_MODES",
+    "BackpressureError",
+    "CoalescingSink",
     "Job",
     "JobFailedError",
     "JobQueue",
     "Parameter",
+    "PayloadStore",
+    "ProcessWorkerPool",
+    "QueueFullError",
+    "RequestCoalescer",
     "Scenario",
     "ScenarioError",
     "ScenarioRegistry",
@@ -82,4 +117,6 @@ __all__ = [
     "WorkerPool",
     "create_server",
     "default_registry",
+    "engine_config_of",
+    "payload_key",
 ]

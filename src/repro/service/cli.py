@@ -27,6 +27,7 @@ DEFAULT_PORT = 8000
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
+    """The argument parser behind ``repro serve``."""
     parser = argparse.ArgumentParser(
         prog="repro serve",
         description="Serve simulations over HTTP from one warm engine.",
@@ -37,7 +38,23 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers", type=int, default=2, metavar="N",
-        help="worker threads draining the job queue (default: 2)",
+        help="workers draining the job queue (default: 2)",
+    )
+    parser.add_argument(
+        "--mode", choices=("thread", "process"), default="thread",
+        help="worker tier: 'thread' = N threads on one warm engine; "
+        "'process' = N forked engine processes sharing the on-disk cache "
+        "(default: thread)",
+    )
+    parser.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="bound the queue; submissions beyond it get 429 + Retry-After "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--no-fast-path", action="store_true",
+        help="disable the HTTP-layer payload cache (repeat submissions "
+        "re-enter the queue instead of answering instantly)",
     )
     parser.add_argument(
         "--parallel", type=int, default=None, metavar="N",
@@ -73,6 +90,9 @@ def build_serve_parser() -> argparse.ArgumentParser:
 
 
 def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Boot the HTTP service in the foreground (the ``repro serve`` command)."""
+    import signal
+
     from repro.engine import SimulationEngine
     from repro.service.server import create_server
 
@@ -90,22 +110,36 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         engine=engine,
         num_workers=args.workers,
         journal_dir=args.journal_dir,
+        mode=args.mode,
+        max_queue_depth=args.max_queue_depth,
+        fast_path=not args.no_fast_path,
         verbose=args.verbose,
     )
     print(
         f"repro service listening on {server.url} "
-        f"({args.workers} workers; scenarios: "
+        f"({args.workers} {args.mode} workers; scenarios: "
         f"{', '.join(server.service.registry.names())})",
         flush=True,
     )
+    # SIGTERM must take the same clean-shutdown path as Ctrl-C: in process
+    # mode the worker tier is real child processes, and dying without
+    # stopping them would orphan children that keep inherited file
+    # descriptors (sockets, pipes to a supervising parent) open.
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
+    finally:
+        signal.signal(signal.SIGTERM, previous_handler)
     return 0
 
 
 def build_submit_parser() -> argparse.ArgumentParser:
+    """The argument parser behind ``repro submit``."""
     parser = argparse.ArgumentParser(
         prog="repro submit",
         description="Submit one scenario to a running repro service.",
@@ -175,6 +209,7 @@ def network_param_key(scenario_description: Optional[Dict[str, Any]]) -> str:
 
 
 def submit_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Submit one scenario and print its result (``repro submit``)."""
     args = build_submit_parser().parse_args(argv)
     try:
         params = parse_params(args.param)

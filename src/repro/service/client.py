@@ -30,6 +30,14 @@ class ServiceError(RuntimeError):
         self.status = status
 
 
+class BackpressureError(ServiceError):
+    """The service answered 429: its queue is full; retry after a delay."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message, status=429)
+        self.retry_after = retry_after
+
+
 class JobFailedError(ServiceError):
     """The job reached a terminal state other than ``done``."""
 
@@ -78,6 +86,14 @@ class ServiceClient:
                 payload = {"error": raw or str(error)}
             if error.code in accept_statuses:
                 return payload
+            if error.code == 429:
+                try:
+                    retry_after = float(error.headers.get("Retry-After", 1.0))
+                except (TypeError, ValueError):
+                    retry_after = 1.0
+                raise BackpressureError(
+                    payload.get("error", str(error)), retry_after=retry_after
+                ) from None
             raise ServiceError(
                 payload.get("error", str(error)), status=error.code
             ) from None
@@ -87,12 +103,15 @@ class ServiceClient:
     # -- the API ----------------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` liveness summary."""
         return self._request("GET", "/healthz")
 
     def stats(self) -> Dict[str, Any]:
+        """The ``GET /stats`` counters (engine, queue, workers, service)."""
         return self._request("GET", "/stats")
 
     def scenarios(self) -> List[Dict[str, Any]]:
+        """The scenario catalogue with parameter schemas."""
         return self._request("GET", "/scenarios")["scenarios"]
 
     def submit(
@@ -100,20 +119,43 @@ class ServiceClient:
         scenario: str,
         params: Optional[Dict[str, Any]] = None,
         priority: int = 0,
+        max_backpressure_wait: float = 30.0,
     ) -> str:
-        """Submit one scenario invocation; returns the job id."""
-        record = self._request(
-            "POST",
-            "/jobs",
-            body={"scenario": scenario, "params": params or {}, "priority": priority},
-        )
-        return record["id"]
+        """Submit one scenario invocation; returns the job id.
+
+        A 429 (the service's queue is at its bound) is retried
+        transparently, honouring the server's ``Retry-After`` header, for
+        up to ``max_backpressure_wait`` seconds of accumulated waiting —
+        then the final :class:`BackpressureError` propagates.  Pass ``0``
+        to surface the first 429 immediately.
+        """
+        waited = 0.0
+        while True:
+            try:
+                record = self._request(
+                    "POST",
+                    "/jobs",
+                    body={
+                        "scenario": scenario,
+                        "params": params or {},
+                        "priority": priority,
+                    },
+                )
+            except BackpressureError as error:
+                delay = max(0.05, float(error.retry_after))
+                if waited + delay > max_backpressure_wait:
+                    raise
+                time.sleep(delay)
+                waited += delay
+                continue
+            return record["id"]
 
     def job(self, job_id: str) -> Dict[str, Any]:
         """The job's current record (state, timestamps, error)."""
         return self._request("GET", f"/jobs/{job_id}")
 
     def jobs(self) -> List[Dict[str, Any]]:
+        """Every job record the service retains, newest first."""
         return self._request("GET", "/jobs")["jobs"]
 
     def cancel(self, job_id: str) -> Dict[str, Any]:

@@ -3,12 +3,17 @@
 A :class:`Job` is one submitted scenario invocation.  Its life cycle is
 
     queued ──> running ──> done
-      │            └─────> failed
+      │          │  └────> failed
+      │          └──────> queued          (requeue: worker died mid-job)
       └──> cancelled
 
 Only queued jobs can be cancelled; a running job runs to completion (the
 simulation models have no preemption points, and a cancelled-mid-flight
-result would be wasted cache warmth anyway).
+result would be wasted cache warmth anyway).  Terminal states are final:
+:meth:`~JobQueue.mark_done` and :meth:`~JobQueue.mark_failed` on an
+already-terminal job are no-ops, so a straggling worker finishing after a
+shutdown (or after its job was retried elsewhere) can never resurrect or
+overwrite a settled record.
 
 :class:`JobQueue` is a thread-safe priority queue over those jobs: workers
 block in :meth:`JobQueue.claim` until a job is available, higher ``priority``
@@ -51,7 +56,13 @@ class UnknownJobError(KeyError):
 
 @dataclass
 class Job:
-    """One submitted scenario invocation and everything recorded about it."""
+    """One submitted scenario invocation and everything recorded about it.
+
+    ``attempts`` counts how many times a worker claimed the job — it stays
+    at 1 on the happy path and reaches 2 when a crashed worker's job was
+    re-queued and claimed again (the retry-once policy of the process
+    worker tier).
+    """
 
     id: str
     scenario: str
@@ -63,6 +74,7 @@ class Job:
     finished_at: Optional[float] = None
     result: Optional[Any] = None
     error: Optional[str] = None
+    attempts: int = 0
 
     @property
     def is_terminal(self) -> bool:
@@ -81,10 +93,12 @@ class Job:
             "finished_at": self.finished_at,
             "result": self.result,
             "error": self.error,
+            "attempts": self.attempts,
         }
 
     @classmethod
     def from_record(cls, record: Dict[str, Any]) -> "Job":
+        """Rebuild a job from a journalled record (unknown keys ignored)."""
         known = {name for name in cls.__dataclass_fields__}
         return cls(**{key: value for key, value in record.items() if key in known})
 
@@ -118,6 +132,9 @@ class JobQueue:
         self._available = threading.Condition(self._lock)
         self._jobs: Dict[str, Job] = {}
         self._heap: List[tuple] = []  # (-priority, sequence, job_id)
+        # Queued-but-held jobs (coalesced followers): not claimable, and not
+        # counted by depth() — they wait on a leader, not on a worker.
+        self._held: set = set()
         self._sequence = itertools.count()
         self.max_history = max_history
         self.journal_errors = 0
@@ -225,8 +242,16 @@ class JobQueue:
         scenario: str,
         params: Optional[Dict[str, Any]] = None,
         priority: int = 0,
+        hold: bool = False,
     ) -> Job:
-        """Enqueue a new job and return its (queued) record."""
+        """Enqueue a new job and return its (queued) record.
+
+        With ``hold=True`` the job record is created (and journalled) in the
+        ``queued`` state but **not** pushed onto the claimable heap — the
+        shape a coalesced follower takes: it waits for its leader's result
+        instead of a worker.  :meth:`enqueue` makes a held job claimable
+        later (e.g. when a cancelled leader's follower is promoted).
+        """
         job = Job(
             id=uuid.uuid4().hex[:12],
             scenario=scenario,
@@ -235,9 +260,81 @@ class JobQueue:
         )
         with self._available:
             self._jobs[job.id] = job
-            heapq.heappush(self._heap, (-job.priority, next(self._sequence), job.id))
+            if hold:
+                self._held.add(job.id)
+            else:
+                heapq.heappush(
+                    self._heap, (-job.priority, next(self._sequence), job.id)
+                )
             self._journal(job)
-            self._available.notify()
+            if not hold:
+                self._available.notify()
+        return job
+
+    def submit_done(
+        self,
+        scenario: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        result: Any = None,
+    ) -> Job:
+        """Record a job that is already finished — the cache fast path.
+
+        The job is journalled straight into ``done`` with ``result``
+        attached and never touches the heap, so no worker ever sees it.
+        """
+        now = time.time()
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            scenario=scenario,
+            params=dict(params or {}),
+            priority=int(priority),
+            state=DONE,
+            submitted_at=now,
+            finished_at=now,
+            result=result,
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+            self._journal(job)
+            self._prune_history()
+        return job
+
+    def enqueue(self, job_id: str) -> Job:
+        """Make a held (or re-queued) job claimable.
+
+        Only ``queued`` jobs are pushed; anything else is left untouched.
+        Pushing a job that is already on the heap is harmless — the stale
+        duplicate entry is skipped by :meth:`claim` once the job leaves the
+        ``queued`` state.
+        """
+        with self._available:
+            job = self._require(job_id)
+            if job.state == QUEUED:
+                self._held.discard(job.id)
+                heapq.heappush(
+                    self._heap, (-job.priority, next(self._sequence), job.id)
+                )
+                self._available.notify()
+        return job
+
+    def requeue(self, job_id: str) -> Job:
+        """Return a ``running`` job to the queue (its worker died mid-job).
+
+        The job keeps its ``attempts`` count — :meth:`claim` increments it —
+        so the caller can bound retries.  Jobs in any other state are left
+        untouched.
+        """
+        with self._available:
+            job = self._require(job_id)
+            if job.state == RUNNING:
+                job.state = QUEUED
+                job.started_at = None
+                heapq.heappush(
+                    self._heap, (-job.priority, next(self._sequence), job.id)
+                )
+                self._journal(job)
+                self._available.notify()
         return job
 
     def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
@@ -260,6 +357,7 @@ class JobQueue:
                         continue
                     job.state = RUNNING
                     job.started_at = time.time()
+                    job.attempts += 1
                     self._journal(job)
                     return job
                 if deadline is None:
@@ -278,24 +376,39 @@ class JobQueue:
             raise UnknownJobError(job_id) from None
 
     def mark_done(self, job_id: str, result: Any) -> Job:
+        """Record a result; a no-op if the job is already terminal.
+
+        The terminal guard is what makes shutdown and worker-death recovery
+        safe: a straggler thread finishing a job that was already marked
+        failed (or retried to completion elsewhere) returns the settled
+        record instead of flipping its state.  Callers that need to know
+        whether *their* result won inspect the returned job's state.
+        """
         with self._lock:
             job = self._require(job_id)
+            if job.is_terminal:
+                return job
             # Publish the payload before the state: readers outside this
             # lock (the HTTP handlers hold live Job references) must never
             # observe state == done with a still-null result.
             job.result = result
             job.finished_at = time.time()
             job.state = DONE
+            self._held.discard(job.id)
             self._journal(job)
             self._prune_history()
         return job
 
     def mark_failed(self, job_id: str, error: str) -> Job:
+        """Record a failure; a no-op if the job is already terminal."""
         with self._lock:
             job = self._require(job_id)
+            if job.is_terminal:
+                return job
             job.error = error
             job.finished_at = time.time()
             job.state = FAILED
+            self._held.discard(job.id)
             self._journal(job)
             self._prune_history()
         return job
@@ -311,6 +424,7 @@ class JobQueue:
             if job.state == QUEUED:
                 job.finished_at = time.time()
                 job.state = CANCELLED
+                self._held.discard(job.id)
                 self._journal(job)
                 self._prune_history()
         return job
@@ -318,6 +432,7 @@ class JobQueue:
     # -- introspection ----------------------------------------------------------
 
     def get(self, job_id: str) -> Job:
+        """The job with ``job_id``; raises :class:`UnknownJobError`."""
         with self._lock:
             return self._require(job_id)
 
@@ -329,9 +444,18 @@ class JobQueue:
             )
 
     def depth(self) -> int:
-        """How many jobs are currently waiting to be claimed."""
+        """How many jobs are currently waiting to be claimed.
+
+        Held jobs (coalesced followers) are excluded: they wait for their
+        leader's result, not for a worker, so they never count against a
+        backpressure bound.
+        """
         with self._lock:
-            return sum(1 for job in self._jobs.values() if job.state == QUEUED)
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.state == QUEUED and job.id not in self._held
+            )
 
     def counts(self) -> Dict[str, int]:
         """Job count per state (every state present, zero or not)."""

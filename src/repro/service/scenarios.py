@@ -83,6 +83,7 @@ class Parameter:
         return tuple(choices)
 
     def describe(self) -> Dict[str, Any]:
+        """JSON-able schema entry for this parameter (``GET /scenarios``)."""
         info: Dict[str, Any] = {
             "name": self.name,
             "type": self.type,
@@ -190,9 +191,11 @@ class Scenario:
         return normalised
 
     def run(self, engine: SimulationEngine, params: Dict[str, Any]) -> Any:
+        """Validate ``params`` and invoke the runner on ``engine``."""
         return self.runner(engine, self.validate(params))
 
     def describe(self) -> Dict[str, Any]:
+        """JSON-able catalogue entry: name, description, parameter schema."""
         return {
             "name": self.name,
             "description": self.description,
@@ -207,12 +210,14 @@ class ScenarioRegistry:
         self._scenarios: Dict[str, Scenario] = {}
 
     def register(self, scenario: Scenario) -> Scenario:
+        """Add ``scenario`` under its name; duplicate names are an error."""
         if scenario.name in self._scenarios:
             raise ValueError(f"scenario {scenario.name!r} is already registered")
         self._scenarios[scenario.name] = scenario
         return scenario
 
     def get(self, name: str) -> Scenario:
+        """The scenario registered as ``name``; :class:`ScenarioError` if unknown."""
         try:
             return self._scenarios[name]
         except KeyError:
@@ -221,9 +226,11 @@ class ScenarioRegistry:
             ) from None
 
     def names(self) -> List[str]:
+        """Registered scenario names, sorted."""
         return sorted(self._scenarios)
 
     def describe(self) -> List[Dict[str, Any]]:
+        """The full catalogue as JSON-able entries, sorted by name."""
         return [self._scenarios[name].describe() for name in self.names()]
 
     def __contains__(self, name: str) -> bool:

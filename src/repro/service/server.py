@@ -8,7 +8,11 @@ is deliberately small:
                             parameters are validated *before* queueing (400 on
                             an unknown scenario or bad parameters), so the
                             queue only ever holds runnable jobs.  Returns 202
-                            with the queued job record.
+                            with the queued job record — or 200 with an
+                            already-``done`` record when the payload cache
+                            answered on the fast path, or 429 with a
+                            ``Retry-After`` header when the queue is at its
+                            bound (backpressure).
 ``GET /jobs``               every job record, newest first (results elided).
 ``GET /jobs/<id>``          one job record: state, timestamps, error.
 ``DELETE /jobs/<id>``       cancel a *queued* job (running jobs finish).
@@ -16,24 +20,34 @@ is deliberately small:
                             queued/running, 410 if it failed or was cancelled.
 ``GET /scenarios``          the scenario catalogue with parameter schemas.
 ``GET /healthz``            liveness: 200 once the service accepts jobs.
-``GET /stats``              engine cache hit-rate, queue depth, worker
-                            utilization.
+``GET /stats``              engine cache hit-rate, queue depth, coalesce and
+                            fast-path counters, per-worker liveness.
 ==========================  ====================================================
 
 :class:`SimulationService` is the transport-free composition root (queue +
-registry + worker pool + engine) — the tests and the in-process example use
-it directly; :class:`ServiceServer` binds it to a socket.
+registry + worker tier + coalescer + engine) — the tests and the in-process
+example use it directly; :class:`ServiceServer` binds it to a socket.  The
+worker tier comes in two modes (``mode="thread"`` | ``"process"``, see
+:mod:`repro.service.worker`); every request path above behaves identically
+in both, which is what the equivalence tests pin.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.engine import SimulationEngine, default_engine
+from repro.service.coalesce import (
+    CoalescingSink,
+    PayloadStore,
+    RequestCoalescer,
+    payload_key,
+)
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -43,7 +57,22 @@ from repro.service.jobs import (
     UnknownJobError,
 )
 from repro.service.scenarios import ScenarioError, ScenarioRegistry, default_registry
-from repro.service.worker import WorkerPool
+from repro.service.worker import ProcessWorkerPool, WorkerPool, engine_config_of
+
+SERVICE_MODES = ("thread", "process")
+
+
+class QueueFullError(RuntimeError):
+    """The queue is at its configured depth bound; retry after a delay.
+
+    The HTTP layer renders this as ``429 Too Many Requests`` with a
+    ``Retry-After`` header — which the client SDK surfaces (and retries)
+    as :class:`repro.service.client.BackpressureError`.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 def _public_record(job: Job) -> Dict[str, Any]:
@@ -54,11 +83,30 @@ def _public_record(job: Job) -> Dict[str, Any]:
 
 
 class SimulationService:
-    """Queue + scenario registry + worker pool over one shared engine.
+    """Queue + registry + coalescer + worker tier over one shared cache.
 
     Everything the HTTP layer exposes is a method here, so the service can
     also be driven in-process (tests, notebooks, the example script)
     without a socket.
+
+    Args:
+        engine: the shared engine (thread mode runs jobs on it directly;
+            process mode derives each worker's engine configuration from it
+            via :func:`~repro.service.worker.engine_config_of`, so all
+            workers share its on-disk cache root).
+        registry: the scenario catalogue (defaults to the built-in one).
+        num_workers: worker threads or processes draining the queue.
+        journal_dir: persist job records here; queued/running jobs resume
+            on restart.
+        mode: ``"thread"`` (one warm in-process engine, the equivalence
+            oracle) or ``"process"`` (N forked engine workers).
+        max_queue_depth: bound on jobs *waiting* in the queue; beyond it
+            :meth:`submit` raises :class:`QueueFullError` (the HTTP
+            layer turns that into 429 + ``Retry-After``).  Fast-path and
+            coalesced submissions never count against the bound — they
+            consume no worker.  ``None`` disables backpressure.
+        fast_path: answer repeat submissions straight from the payload
+            store (job records born ``done``) without touching the queue.
     """
 
     def __init__(
@@ -67,22 +115,59 @@ class SimulationService:
         registry: Optional[ScenarioRegistry] = None,
         num_workers: int = 2,
         journal_dir: Union[None, str, Path] = None,
+        mode: str = "thread",
+        max_queue_depth: Optional[int] = None,
+        fast_path: bool = True,
     ) -> None:
+        if mode not in SERVICE_MODES:
+            raise ValueError(
+                f"mode must be one of {', '.join(SERVICE_MODES)}; got {mode!r}"
+            )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive (or None)")
         self.engine = engine if engine is not None else default_engine()
         self.registry = registry if registry is not None else default_registry()
+        self.mode = mode
+        self.max_queue_depth = max_queue_depth
+        self.fast_path = fast_path
         self.queue = (
             JobQueue.load(journal_dir) if journal_dir is not None else JobQueue()
         )
-        self.workers = WorkerPool(
-            self.queue, self.registry, self.engine, num_workers=num_workers
+        self.coalescer = RequestCoalescer()
+        cache_root = (
+            self.engine.disk_cache.root
+            if self.engine.disk_cache is not None
+            else None
         )
+        self.payloads = PayloadStore(disk_root=cache_root)
+        self.sink = CoalescingSink(self.queue, self.coalescer, self.payloads)
+        if mode == "process":
+            self.workers: Any = ProcessWorkerPool(
+                self.queue,
+                self.registry,
+                engine_config_of(self.engine),
+                num_workers=num_workers,
+                sink=self.sink,
+            )
+        else:
+            self.workers = WorkerPool(
+                self.queue,
+                self.registry,
+                self.engine,
+                num_workers=num_workers,
+                sink=self.sink,
+            )
+        self._rejections = 0
+        self._lock = threading.Lock()
 
     # -- lifecycle --------------------------------------------------------------
 
     def start(self) -> None:
+        """Start the worker tier."""
         self.workers.start()
 
     def stop(self) -> None:
+        """Stop the worker tier (no claimed job is left in ``running``)."""
         self.workers.stop()
 
     # -- operations (the HTTP surface, transport-free) --------------------------
@@ -93,38 +178,116 @@ class SimulationService:
         params: Optional[Dict[str, Any]] = None,
         priority: int = 0,
     ) -> Job:
-        """Validate and enqueue one scenario invocation.
+        """Validate, deduplicate, and (maybe) enqueue one scenario invocation.
 
         Raises :class:`ScenarioError` on an unknown scenario or invalid
         parameters — nothing unrunnable ever reaches the queue.  The job is
         stored with *normalised* parameters (defaults applied), so its
-        cache fingerprint is canonical.
+        cache fingerprint is canonical.  Three admission tiers, in order:
+
+        1. **fast path** — the payload store already holds this request's
+           finished result: the returned job is born ``done``;
+        2. **coalesce** — an identical request is in flight: the job
+           attaches as a follower and receives the leader's payload;
+        3. **enqueue** — a genuinely new request: claimable by workers,
+           subject to the ``max_queue_depth`` bound
+           (:class:`QueueFullError` beyond it).
         """
         normalised = self.registry.get(scenario).validate(params)
-        return self.queue.submit(scenario, normalised, priority=priority)
+        key = payload_key(scenario, normalised)
+        if self.fast_path:
+            payload = self.payloads.get(key)
+            if payload is not None:
+                return self.queue.submit_done(
+                    scenario, normalised, priority=priority, result=payload
+                )
+        will_coalesce = self.coalescer.leading(key)
+        if (
+            not will_coalesce
+            and self.max_queue_depth is not None
+            and self.queue.depth() >= self.max_queue_depth
+        ):
+            with self._lock:
+                self._rejections += 1
+            retry_after = self.retry_after()
+            raise QueueFullError(
+                f"queue depth is at its bound ({self.max_queue_depth}); "
+                f"retry in {retry_after}s",
+                retry_after=retry_after,
+            )
+        job = self.queue.submit(scenario, normalised, priority=priority, hold=True)
+        leader = self.coalescer.attach(key, job.id)
+        if leader is None:
+            self.queue.enqueue(job.id)
+        return job
+
+    def retry_after(self) -> int:
+        """Suggested client back-off, from queue depth and recent job times.
+
+        ``ceil(depth x average recent job duration / workers)`` clamped to
+        [1, 60] seconds — a rough drain-time estimate, deliberately coarse:
+        its purpose is spacing retries, not scheduling them.
+        """
+        durations = [
+            job.finished_at - job.started_at
+            for job in self.queue.jobs()[:20]
+            if job.state == DONE
+            and job.started_at is not None
+            and job.finished_at is not None
+        ]
+        average = (sum(durations) / len(durations)) if durations else 1.0
+        estimate = math.ceil(
+            (self.queue.depth() + 1) * average / self.workers.num_workers
+        )
+        return max(1, min(60, int(estimate)))
 
     def job(self, job_id: str) -> Job:
+        """The current record of one job."""
         return self.queue.get(job_id)
 
     def cancel(self, job_id: str) -> Job:
-        return self.queue.cancel(job_id)
+        """Cancel a queued job; promotes a follower if a leader dies queued.
+
+        Cancelling a coalesced group's *leader* while it is still queued
+        promotes its oldest follower to leader (and actually enqueues it),
+        so the rest of the group still gets a result.
+        """
+        job = self.queue.cancel(job_id)
+        if job.state == CANCELLED:
+            promoted = self.coalescer.detach(job_id)
+            if promoted is not None:
+                self.queue.enqueue(promoted)
+        return job
 
     def stats(self) -> Dict[str, Any]:
+        """Engine, queue, worker-tier and coalescing counters, JSON-able."""
+        with self._lock:
+            rejections = self._rejections
         return {
             "engine": self.engine.stats(),
             "queue": {
                 "depth": self.queue.depth(),
+                "max_depth": self.max_queue_depth,
                 "jobs": self.queue.counts(),
                 "journal_errors": self.queue.journal_errors,
             },
             "workers": self.workers.stats(),
+            "service": {
+                "mode": self.mode,
+                "coalesced": self.coalescer.coalesced,
+                "coalesced_in_flight": self.coalescer.in_flight(),
+                "fast_path_hits": self.payloads.hits,
+                "backpressure_rejections": rejections,
+            },
         }
 
     def health(self) -> Dict[str, Any]:
+        """Liveness summary: scenario count, worker-tier size and mode."""
         return {
             "status": "ok",
             "scenarios": len(self.registry),
             "workers": self.workers.num_workers,
+            "mode": self.mode,
         }
 
 
@@ -143,11 +306,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- response helpers -------------------------------------------------------
 
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Any,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -252,7 +422,16 @@ class _Handler(BaseHTTPRequestHandler):
         except ScenarioError as error:
             self._send_error_json(400, str(error))
             return
-        self._send_json(202, _public_record(job))
+        except QueueFullError as error:
+            retry_after = max(1, int(error.retry_after))
+            self._send_json(
+                429,
+                {"error": str(error), "retry_after": retry_after},
+                headers={"Retry-After": str(retry_after)},
+            )
+            return
+        # A fast-path submission is already done — 200, not 202 Accepted.
+        self._send_json(200 if job.state == DONE else 202, _public_record(job))
 
     def do_DELETE(self) -> None:  # noqa: N802
         head, tail = self._route()
@@ -306,6 +485,7 @@ class ServiceServer:
         self._thread.start()
 
     def stop(self) -> None:
+        """Stop serving, close the socket, and stop the worker tier."""
         self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -338,6 +518,9 @@ def create_server(
     registry: Optional[ScenarioRegistry] = None,
     num_workers: int = 2,
     journal_dir: Union[None, str, Path] = None,
+    mode: str = "thread",
+    max_queue_depth: Optional[int] = None,
+    fast_path: bool = True,
     verbose: bool = False,
 ) -> ServiceServer:
     """Compose a service and bind it; ``port=0`` picks an ephemeral port."""
@@ -346,5 +529,8 @@ def create_server(
         registry=registry,
         num_workers=num_workers,
         journal_dir=journal_dir,
+        mode=mode,
+        max_queue_depth=max_queue_depth,
+        fast_path=fast_path,
     )
     return ServiceServer(service, host=host, port=port, verbose=verbose)
