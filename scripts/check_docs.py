@@ -9,7 +9,8 @@ Three structural checks, all CI-enforced:
   break even when no link points at it yet;
 * every public module, class, function and method in the docstring-gated
   packages (``src/repro/arch``, ``src/repro/engine``, ``src/repro/grid``,
-  ``src/repro/service``, ``src/repro/workloads``) must carry a docstring.
+  ``src/repro/obs``, ``src/repro/service``, ``src/repro/workloads``) must
+  carry a docstring.
   Private names (leading underscore), dunders and ``@property`` accessors
   are exempt.
 
@@ -35,6 +36,7 @@ SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 REQUIRED_DOCUMENTS = (
     "README.md",
     "docs/architecture.md",
+    "docs/observability.md",
     "docs/paper_mapping.md",
     "docs/service.md",
 )
@@ -44,6 +46,7 @@ DOCSTRING_GATED_DIRS = (
     "src/repro/arch",
     "src/repro/engine",
     "src/repro/grid",
+    "src/repro/obs",
     "src/repro/service",
     "src/repro/workloads",
 )

@@ -28,7 +28,21 @@ service's worker tiers against each other:
   payload out to every submission, in both modes, with the thread-mode
   payloads as the equivalence oracle for process mode.
 
-``--smoke`` shrinks either benchmark for CI; the committed records at the
+``--bench observability_overhead`` (``BENCH_observability_overhead.json``)
+pins the observability layer's cost contract on a real engine workload
+(N distinct ``run_network`` simulations, fresh engine per sample):
+
+* two **disabled** arms establish the run-to-run noise window — their
+  spread is what "unmeasurable" means on this machine;
+* one **enabled** arm (metrics + an active trace context) must stay
+  within 5% of the best disabled arm;
+* per-operation microbenchmarks record the disabled fast path in
+  nanoseconds (one counter ``inc``, one ``span`` call — each must stay
+  under a microsecond);
+* every arm's simulated cycle counts must be identical — instrumentation
+  must never change results.
+
+``--smoke`` shrinks any benchmark for CI; the committed records at the
 repo root are full runs.
 """
 
@@ -241,12 +255,103 @@ def run_service_benchmark(distinct_jobs: int, identical_jobs: int, workers: int)
     }
 
 
+def _obs_workload(iterations: int):
+    """Run ``iterations`` distinct network simulations on a fresh engine.
+
+    Returns (elapsed seconds, cycle fingerprint) — the fingerprint is the
+    per-layer SCNN cycle list of every run, used to assert that flipping
+    observability on can never change simulated results.
+    """
+    from repro.engine import SimulationEngine
+
+    engine = SimulationEngine(cache_dir=False)  # built outside the window
+    start = time.perf_counter()
+    fingerprint = []
+    for seed in range(iterations):
+        simulation = engine.run_network("alexnet", seed=seed)
+        fingerprint.append([layer.scnn.cycles for layer in simulation.layers])
+    return time.perf_counter() - start, fingerprint
+
+
+def _disabled_op_ns(op, calls: int = 200_000) -> float:
+    """Nanoseconds per call of ``op`` (obs disabled), best of 3 batches."""
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(calls):
+            op()
+        best = min(best, time.perf_counter() - start)
+    return best / calls * 1e9
+
+
+def run_observability_benchmark(iterations: int, repeats: int) -> dict:
+    """Time the engine workload with observability off, off again, and on."""
+    from repro import obs
+
+    def sample(enabled: bool):
+        best, fingerprint = float("inf"), None
+        for _ in range(repeats):
+            obs.reset(enabled=enabled)
+            if enabled:
+                token = obs.set_current_trace(obs.new_trace_id())
+            try:
+                elapsed, this_fingerprint = _obs_workload(iterations)
+            finally:
+                if enabled:
+                    obs.reset_current_trace(token)
+            if elapsed < best:
+                best, fingerprint = elapsed, this_fingerprint
+        return best, fingerprint
+
+    try:
+        disabled_a_s, fingerprint_a = sample(enabled=False)
+        disabled_b_s, fingerprint_b = sample(enabled=False)
+        enabled_s, fingerprint_on = sample(enabled=True)
+
+        obs.reset(enabled=False)
+        counter = obs.counter("bench_disabled_total")
+        inc_ns = _disabled_op_ns(counter.inc)
+        span_ns = _disabled_op_ns(lambda: obs.span("bench.disabled"))
+    finally:
+        obs.reset(enabled=False)
+
+    baseline_s = min(disabled_a_s, disabled_b_s)
+    noise_fraction = abs(disabled_a_s - disabled_b_s) / baseline_s
+    enabled_overhead = enabled_s / baseline_s - 1.0
+    results_identical = fingerprint_a == fingerprint_b == fingerprint_on
+    return {
+        "benchmark": "observability_overhead",
+        "workload": f"{iterations} distinct alexnet run_network calls, "
+        f"fresh engine, best of {repeats}",
+        "disabled_a_s": round(disabled_a_s, 6),
+        "disabled_b_s": round(disabled_b_s, 6),
+        "enabled_s": round(enabled_s, 6),
+        "disabled_noise_fraction": round(noise_fraction, 6),
+        "enabled_overhead_fraction": round(enabled_overhead, 6),
+        "disabled_counter_inc_ns": round(inc_ns, 1),
+        "disabled_span_ns": round(span_ns, 1),
+        "results_identical_across_arms": results_identical,
+        "gates": {
+            "enabled_overhead_below_5pct": enabled_overhead < 0.05,
+            "disabled_ops_below_1us": inc_ns < 1000.0 and span_ns < 1000.0,
+        },
+        "equivalent": (
+            results_identical
+            and enabled_overhead < 0.05
+            and inc_ns < 1000.0
+            and span_ns < 1000.0
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
 def main(argv=None) -> int:
     """CLI entry point; exits non-zero on any equivalence failure."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--bench",
-        choices=("whole_grid", "service_scaleout"),
+        choices=("whole_grid", "service_scaleout", "observability_overhead"),
         default="whole_grid",
         help="which benchmark to record (default: whole_grid)",
     )
@@ -272,6 +377,11 @@ def main(argv=None) -> int:
             record = run_service_benchmark(
                 distinct_jobs=16, identical_jobs=16, workers=4
             )
+    elif args.bench == "observability_overhead":
+        if args.smoke:
+            record = run_observability_benchmark(iterations=2, repeats=2)
+        else:
+            record = run_observability_benchmark(iterations=6, repeats=3)
     elif args.smoke:
         record = run_benchmark("googlenet-stem", density_points=10)
     else:

@@ -17,7 +17,13 @@ in-process under pytest — in both worker modes:
    require every one to return the bitwise-identical payload with the
    ``/stats`` counters accounting for the whole burst
    (``jobs_completed + coalesced + fast_path_hits == N``);
-6. shut the server down and fail loudly on any leftover error.
+6. scrape ``GET /metrics``, require it to parse as Prometheus text with
+   the key families present, and cross-check its counters against
+   ``/stats`` (terminal jobs, fast-path hits, coalesced followers);
+7. fetch the first job's ``GET /jobs/<id>/trace`` timeline, require its
+   phases to tile to the total, and (``--trace-out PATH``) save it as a
+   CI artifact;
+8. shut the server down and fail loudly on any leftover error.
 
 Exit status 0 on success; 1 with a diagnostic (and the server's output) on
 any failure.
@@ -25,7 +31,8 @@ any failure.
 Usage::
 
     python scripts/service_smoke.py                     # thread mode
-    python scripts/service_smoke.py --mode process --workers 2 --burst 8
+    python scripts/service_smoke.py --mode process --workers 2 --burst 8 \
+        --trace-out trace-process.json
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs import parse_prometheus_text  # noqa: E402
 from repro.service import ServiceClient, ServiceError  # noqa: E402
 
 BOOT_TIMEOUT_S = 30.0
@@ -111,6 +119,87 @@ def duplicate_burst(client: ServiceClient, burst: int) -> None:
     )
 
 
+def check_metrics(client: ServiceClient) -> None:
+    """Scrape ``/metrics``; verify exposition validity and stats agreement."""
+    parsed = parse_prometheus_text(client.metrics_text())  # raises if malformed
+
+    required = (
+        "repro_jobs_total",
+        "repro_job_duration_seconds",
+        "repro_queue_wait_seconds",
+        "repro_queue_depth",
+        "repro_submissions_total",
+        "repro_fast_path_hits_total",
+        "repro_coalesced_total",
+        "repro_worker_restarts_total",
+        "repro_engine_cache_requests_total",
+        "repro_http_requests_total",
+    )
+    missing = [family for family in required if family not in parsed]
+    assert not missing, f"/metrics missing families: {missing}"
+
+    def sample(family, name=None, **labels):
+        wanted = name or family
+        for sample_name, sample_labels, value in parsed[family]["samples"]:
+            if sample_name == wanted and sample_labels == labels:
+                return value
+        return 0.0
+
+    stats = client.stats()
+    jobs_done = sample("repro_jobs_total", outcome="done")
+    assert jobs_done == stats["queue"]["jobs"]["done"], (
+        f"metrics report {jobs_done} done jobs, "
+        f"/stats reports {stats['queue']['jobs']['done']}"
+    )
+    fast = sample("repro_fast_path_hits_total")
+    assert fast == stats["service"]["fast_path_hits"], (
+        f"metrics report {fast} fast-path hits, "
+        f"/stats reports {stats['service']['fast_path_hits']}"
+    )
+    coalesced = sample("repro_coalesced_total")
+    assert coalesced == stats["service"]["coalesced"], (
+        f"metrics report {coalesced} coalesced, "
+        f"/stats reports {stats['service']['coalesced']}"
+    )
+    submissions = sum(
+        value
+        for name, _, value in parsed["repro_submissions_total"]["samples"]
+        if name == "repro_submissions_total"
+    )
+    assert submissions == jobs_done, (
+        f"{submissions} admitted submissions but {jobs_done} done jobs"
+    )
+    print(
+        f"/metrics consistent with /stats: {int(jobs_done)} jobs done, "
+        f"{int(fast)} fast-path, {int(coalesced)} coalesced, "
+        f"{len(parsed)} families exported"
+    )
+
+
+def check_trace(client: ServiceClient, job_id: str, trace_out) -> None:
+    """Fetch one job's timeline; verify tiling and optionally save it."""
+    timeline = client.trace(job_id)
+    assert timeline["complete"], timeline
+    names = [span["name"] for span in timeline["spans"]]
+    assert names == ["admission", "queue", "run"], names
+    total = sum(span["duration_s"] for span in timeline["spans"])
+    assert abs(total - timeline["duration_s"]) < 1e-3, (
+        f"phases sum to {total:.6f}s but the timeline spans "
+        f"{timeline['duration_s']:.6f}s"
+    )
+    children = timeline["spans"][-1].get("children", [])
+    assert children, "run phase carries no engine/cache spans"
+    if trace_out is not None:
+        Path(trace_out).write_text(
+            json.dumps(timeline, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        print(f"trace timeline ({len(children)} run children) "
+              f"saved to {trace_out}")
+    else:
+        print(f"trace timeline tiles: {len(names)} phases, "
+              f"{len(children)} run children")
+
+
 def main(argv=None) -> int:
     """Boot the server subprocess, drive the phases, report pass/fail."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -124,6 +213,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--burst", type=int, default=0, metavar="N",
         help="also fire N concurrent duplicate submissions (default: off)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the first job's /trace timeline JSON to PATH",
     )
     args = parser.parse_args(argv)
 
@@ -154,9 +247,9 @@ def main(argv=None) -> int:
         assert "network" in scenarios, f"catalogue missing 'network': {scenarios}"
         assert client.health()["mode"] == args.mode
 
-        payload = client.run(
-            "network", {"network": "alexnet", "seed": 0}, timeout=JOB_TIMEOUT_S
-        )
+        first_job_id = client.submit("network", {"network": "alexnet", "seed": 0})
+        client.wait(first_job_id, timeout=JOB_TIMEOUT_S)
+        payload = client.result(first_job_id)
         assert payload["network"] == "AlexNet", payload.get("network")
         assert payload["network_speedup"] > 1.0
         assert len(payload["layers"]) == 5  # AlexNet's five conv layers
@@ -189,6 +282,9 @@ def main(argv=None) -> int:
 
         if args.burst > 0:
             duplicate_burst(client, args.burst)
+
+        check_metrics(client)
+        check_trace(client, first_job_id, args.trace_out)
 
         per_worker = client.stats()["workers"]["workers"]
         assert len(per_worker) == args.workers

@@ -45,8 +45,22 @@ from typing import Any, Iterator, Optional
 
 import numpy as np
 
+from repro import obs
+
 # Bump when a model change alters what any cached metric means.
 SCHEMA_VERSION = 1
+
+_log = obs.get_logger("repro.engine.cache")
+
+_WRITE_FAILURES = obs.counter(
+    "repro_cache_write_failures_total",
+    "Disk cache writes that failed with OSError.",
+    ("tier",),
+)
+_CORRUPT_ENTRIES = obs.counter(
+    "repro_cache_corrupt_entries_total",
+    "Unreadable disk cache entries deleted and treated as misses.",
+)
 
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 _DISABLED = {"", "0", "off", "none", "disabled"}
@@ -169,10 +183,14 @@ class ResultCache:
             with self._lock:
                 self.misses += 1
             return None
-        except Exception:
+        except Exception as error:
             path.unlink(missing_ok=True)
             with self._lock:
                 self.misses += 1
+            _CORRUPT_ENTRIES.inc()
+            _log.warning(
+                "cache_entry_corrupt", key=key, path=str(path), error=str(error)
+            )
             return None
         with self._lock:
             self.hits += 1
@@ -197,19 +215,27 @@ class ResultCache:
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        except OSError:
+        except OSError as error:
             with self._lock:
                 self.write_failures += 1
+            _WRITE_FAILURES.inc(tier="disk")
+            _log.warning(
+                "cache_write_failed", key=key, path=str(path), error=str(error)
+            )
             return
         is_new = self.max_entries is not None and not path.exists()
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
-        except OSError:
+        except OSError as error:
             Path(tmp_name).unlink(missing_ok=True)
             with self._lock:
                 self.write_failures += 1
+            _WRITE_FAILURES.inc(tier="disk")
+            _log.warning(
+                "cache_write_failed", key=key, path=str(path), error=str(error)
+            )
             return
         except BaseException:
             Path(tmp_name).unlink(missing_ok=True)

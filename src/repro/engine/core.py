@@ -22,13 +22,16 @@ nor the cache ever ships multi-megabyte activation tensors.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.engine.cache import ResultCache, default_cache_dir, describe, fingerprint
 from repro.engine.parallel import parallel_map
 from repro.engine.workloads import WorkloadHandle
@@ -52,6 +55,43 @@ from repro.timeloop.dse import (
 from repro.timeloop.energy import DEFAULT_ENERGY_TABLE, EnergyTable
 
 AnyWorkload = Union[LayerWorkload, WorkloadHandle]
+
+_CACHE_REQUESTS = obs.counter(
+    "repro_engine_cache_requests_total",
+    "Engine cache lookups by answering tier (memory, disk, or none=miss).",
+    ("tier", "outcome"),
+)
+_ENGINE_RUNS = obs.counter(
+    "repro_engine_runs_total", "Engine entry-point invocations.", ("method",)
+)
+_ENGINE_SECONDS = obs.histogram(
+    "repro_engine_run_seconds", "Engine entry-point duration, seconds.", ("method",)
+)
+
+
+def _instrumented(method_name: str):
+    """Wrap an engine entry point with a run counter, duration histogram,
+    and an ``engine.<method>`` span on the current trace.
+
+    When observability is disabled the wrapper costs one extra call and one
+    flag check — the contract pinned by ``BENCH_observability_overhead``.
+    """
+
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(self, *args, **kwargs):
+            if not obs.enabled():
+                return func(self, *args, **kwargs)
+            _ENGINE_RUNS.inc(method=method_name)
+            start = time.monotonic()
+            with obs.span(f"engine.{method_name}"):
+                result = func(self, *args, **kwargs)
+            _ENGINE_SECONDS.observe(time.monotonic() - start, method=method_name)
+            return result
+
+        return wrapper
+
+    return decorate
 
 
 # -- picklable worker functions (module level so the process pool can import
@@ -276,15 +316,21 @@ class SimulationEngine:
                     # Reinsert so the hit entry becomes most recently used.
                     del self._memory[key]
                     self._memory[key] = value
-                return value
+        if value is not None:
+            _CACHE_REQUESTS.inc(tier="memory", outcome="hit")
+            return value
         if self.disk_cache is not None:
-            value = self.disk_cache.get(key)
+            with obs.span("cache.get") as span:
+                value = self.disk_cache.get(key)
+                span.annotate(outcome="hit" if value is not None else "miss")
             if value is not None:
                 with self._lock:
                     self._remember(key, value)
+                _CACHE_REQUESTS.inc(tier="disk", outcome="hit")
                 return value
         with self._lock:
             self.memory_misses += 1
+        _CACHE_REQUESTS.inc(tier="none", outcome="miss")
         return None
 
     def _remember(self, key: str, value) -> None:
@@ -303,7 +349,8 @@ class SimulationEngine:
         with self._lock:
             self._remember(key, value)
         if self.disk_cache is not None:
-            self.disk_cache.put(key, value)
+            with obs.span("cache.put"):
+                self.disk_cache.put(key, value)
 
     def clear_cache(self) -> None:
         """Drop the in-memory memo table and every on-disk entry."""
@@ -349,6 +396,7 @@ class SimulationEngine:
 
     # -- network simulation -----------------------------------------------------
 
+    @_instrumented("run_network")
     def run_network(
         self,
         network: Union[str, Network],
@@ -419,6 +467,7 @@ class SimulationEngine:
 
     # -- batched layer evaluation -----------------------------------------------
 
+    @_instrumented("run")
     def run(
         self,
         workloads: Sequence[AnyWorkload],
@@ -465,6 +514,7 @@ class SimulationEngine:
             self._store(key, result)
         return EngineRun(workloads=workloads, configs=configs, results=cells)
 
+    @_instrumented("run_architectures")
     def run_architectures(
         self,
         workloads: Sequence[AnyWorkload],
@@ -569,6 +619,7 @@ class SimulationEngine:
 
     # -- design-space exploration -----------------------------------------------
 
+    @_instrumented("sweep")
     def sweep(
         self,
         configs: Sequence[AcceleratorConfig],
@@ -643,6 +694,7 @@ class SimulationEngine:
 
     # -- whole-grid analytical evaluation -----------------------------------------
 
+    @_instrumented("evaluate_grid")
     def evaluate_grid(
         self,
         specs: Sequence[object],

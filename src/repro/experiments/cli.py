@@ -11,13 +11,15 @@ on-disk cache so re-running an experiment with unchanged inputs is instant
 (``REPRO_CACHE_DIR`` sets the same root environment-wide; ``--no-cache``
 overrides both).
 
-Four subcommands are dispatched before experiment parsing: ``repro
+Five subcommands are dispatched before experiment parsing: ``repro
 compare`` runs cross-architecture comparison sweeps over the architecture
 registry (:mod:`repro.experiments.compare`), ``repro workloads`` lists the
 workload registry and its density profiles
 (:mod:`repro.experiments.workloads`), ``repro serve`` boots the HTTP
-service (:mod:`repro.service`) on one warm engine, and ``repro submit
-SCENARIO`` sends a scenario to a running service and prints the result JSON.
+service (:mod:`repro.service`) on one warm engine, ``repro submit
+SCENARIO`` sends a scenario to a running service and prints the result
+JSON, and ``repro stats`` prints (or ``--watch``-es) a running service's
+counters or raw ``/metrics`` exposition.
 """
 
 from __future__ import annotations
@@ -60,7 +62,7 @@ EXPERIMENTS: Dict[str, tuple] = {
 
 # Subcommands dispatched before experiment parsing, so `repro serve --port
 # 8001` or `repro compare --list` never collide with experiment ids.
-SERVICE_COMMANDS = ("serve", "submit")
+SERVICE_COMMANDS = ("serve", "submit", "stats")
 COMPARE_COMMAND = "compare"
 WORKLOADS_COMMAND = "workloads"
 
@@ -72,7 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="Subcommands: 'repro compare' sweeps registered accelerator "
         "architectures against each other; 'repro workloads' lists the "
         "workload zoo and its density profiles; 'repro serve' boots the "
-        "HTTP simulation service, 'repro submit SCENARIO' sends it work "
+        "HTTP simulation service, 'repro submit SCENARIO' sends it work, "
+        "'repro stats' watches a running service's counters "
         "(each accepts --help).",
     )
     parser.add_argument(
@@ -140,9 +143,13 @@ def run_experiments(names: Sequence[str]) -> List[str]:
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in SERVICE_COMMANDS:
-        from repro.service.cli import serve_main, submit_main
+        from repro.service.cli import serve_main, stats_main, submit_main
 
-        handler = serve_main if argv[0] == "serve" else submit_main
+        handler = {
+            "serve": serve_main,
+            "submit": submit_main,
+            "stats": stats_main,
+        }[argv[0]]
         return handler(argv[1:])
     if argv and argv[0] == COMPARE_COMMAND:
         from repro.experiments.compare import compare_main

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.arch.registry import resolve_config
 from repro.grid.binomial import expected_vector_counts
 from repro.grid.stack import ConfigLayerStack, config_layer_stack
@@ -44,6 +45,14 @@ ENERGY_COMPONENTS: Tuple[str, ...] = (
     "halo exchange",
     "DRAM",
     "static / control",
+)
+
+_GRID_EVALUATIONS = obs.counter(
+    "repro_grid_evaluations_total", "Whole-grid analytical evaluations."
+)
+_GRID_CELLS = obs.counter(
+    "repro_grid_cells_total",
+    "Grid cells (configs x layers x density points) evaluated.",
 )
 
 
@@ -461,6 +470,21 @@ def evaluate_grid(
         )
 
     shape = (len(resolved), layers, points)
+    if obs.enabled():
+        _GRID_EVALUATIONS.inc()
+        _GRID_CELLS.inc(len(resolved) * layers * points)
+    with obs.span(
+        "grid.evaluate", configs=len(resolved), layers=layers, points=points
+    ):
+        return _evaluate_grid_arrays(
+            specs, resolved, wd, ad, od, energy_table, model, shape
+        )
+
+
+def _evaluate_grid_arrays(
+    specs, resolved, wd, ad, od, energy_table, model, shape
+) -> GridResult:
+    layers, points = shape[1], shape[2]
     cycles = np.zeros(shape)
     products = np.zeros(shape)
     utilization = np.zeros(shape)

@@ -1,0 +1,167 @@
+"""Observability substrate: metrics, tracing, structured logging, exposition.
+
+This package is the single front door for instrumentation across the repo.
+It owns one process-wide :class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.trace.Tracer`, both **disabled by default** — library
+use (importing :mod:`repro.engine` in a notebook, running experiments)
+pays one attribute read per instrumentation site and records nothing.
+``repro serve`` (or a test) calls :func:`enable` and everything lights up:
+
+* counters / gauges / histograms collected into the registry and rendered
+  by ``GET /metrics`` (see :mod:`repro.obs.exposition`);
+* spans recorded against the current trace id (installed per job via
+  :func:`set_current_trace`) and assembled into per-job timelines by
+  ``GET /jobs/<id>/trace`` (see :mod:`repro.obs.trace`);
+* structured JSON log events, trace-correlated, one per line (see
+  :mod:`repro.obs.logging`) — these are level-gated independently of the
+  enabled flag so swallowed-error surfacing works even in library use.
+
+The registry and trace store are created once at import and never swapped:
+:func:`reset` zeroes them *in place*, so family handles and span sites
+captured at import time stay valid across test-suite resets.
+
+See ``docs/observability.md`` for the metric catalogue, the trace/timeline
+schema, and the logging conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.exposition import parse_prometheus_text, render_prometheus
+from repro.obs.logging import (
+    LEVELS,
+    LogSink,
+    StructuredLogger,
+    configure_logging,
+    current_sink,
+    get_logger,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    TraceStore,
+    Tracer,
+    current_trace_id,
+    new_trace_id,
+    reset_current_trace,
+    set_current_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LEVELS",
+    "LogSink",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "StructuredLogger",
+    "TraceStore",
+    "Tracer",
+    "configure_logging",
+    "counter",
+    "current_sink",
+    "current_trace_id",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "new_trace_id",
+    "parse_prometheus_text",
+    "registry",
+    "render_prometheus",
+    "reset",
+    "reset_current_trace",
+    "set_current_trace",
+    "span",
+    "trace_store",
+]
+
+_REGISTRY = MetricsRegistry(enabled=False)
+_TRACER = Tracer(enabled=False)
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def trace_store() -> TraceStore:
+    """The process-wide span store."""
+    return _TRACER.store
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def enable() -> None:
+    """Turn on metrics collection and span recording for this process."""
+    _REGISTRY.enabled = True
+    _TRACER.enabled = True
+
+
+def disable() -> None:
+    """Stop recording; already-collected state is kept until :func:`reset`."""
+    _REGISTRY.enabled = False
+    _TRACER.enabled = False
+
+
+def enabled() -> bool:
+    """Whether the observability layer is currently recording."""
+    return _REGISTRY.enabled
+
+
+def reset(enabled: bool = False) -> None:
+    """Zero all metric children and drop all traces, in place.
+
+    Family handles held by instrumented modules stay valid.  ``enabled``
+    sets the post-reset recording state — test fixtures pass ``True`` to
+    start a clean, live registry.
+    """
+    _REGISTRY.clear()
+    _TRACER.store.clear()
+    _REGISTRY.enabled = enabled
+    _TRACER.enabled = enabled
+
+
+def counter(name: str, help: str = "", labelnames: Any = ()) -> MetricFamily:
+    """Get or create a counter family on the process registry."""
+    return _REGISTRY.counter(name, help, labelnames)
+
+
+def gauge(
+    name: str, help: str = "", labelnames: Any = (), callback: Any = None
+) -> MetricFamily:
+    """Get or create a gauge family on the process registry."""
+    return _REGISTRY.gauge(name, help, labelnames, callback)
+
+
+def histogram(
+    name: str, help: str = "", labelnames: Any = (), buckets: Any = None
+) -> MetricFamily:
+    """Get or create a histogram family on the process registry."""
+    return _REGISTRY.histogram(name, help, labelnames, buckets)
+
+
+def span(name: str, **attrs: Any):
+    """A context manager timing one section of the current trace.
+
+    No-ops (returning the shared :data:`NULL_SPAN`) when observability is
+    disabled or no trace id is installed in the current context.
+    """
+    return _TRACER.span(name, **attrs)
+
+
+def record_span(span_obj: Span) -> None:
+    """Record an externally-constructed :class:`Span` (admission, queue)."""
+    _TRACER.record(span_obj)

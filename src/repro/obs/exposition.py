@@ -1,0 +1,181 @@
+"""Prometheus text exposition (format 0.0.4) rendering and parsing.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the plain-text format every Prometheus-compatible scraper understands:
+``# HELP`` / ``# TYPE`` headers per family, one sample line per child, and
+the cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` expansion for
+histograms.  :func:`parse_prometheus_text` is the inverse used by the test
+suite and the CI smoke script to assert the endpoint emits *valid* text
+format rather than something that merely looks like it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from repro.obs.metrics import COUNTER, GAUGE, HISTOGRAM, MetricsRegistry
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label_value(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _format_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(names: Tuple[str, ...], values: Tuple[str, ...], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry's current state as Prometheus text format 0.0.4."""
+    lines: List[str] = []
+    for family in registry.families():
+        help_text = (family.help or family.name).replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in sorted(family.samples(), key=lambda item: item[0]):
+            if family.kind == HISTOGRAM:
+                with child._lock:
+                    counts = list(child.counts)
+                    total = child.sum
+                    count = child.count
+                cumulative = 0
+                for bound, bucket_count in zip(family.buckets, counts):
+                    cumulative += bucket_count
+                    labelstr = _format_labels(
+                        family.labelnames, labels, f'le="{_format_number(bound)}"'
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{labelstr} {cumulative}"
+                    )
+                cumulative += counts[-1]
+                labelstr = _format_labels(family.labelnames, labels, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{labelstr} {cumulative}")
+                labelstr = _format_labels(family.labelnames, labels)
+                lines.append(f"{family.name}_sum{labelstr} {_format_number(total)}")
+                lines.append(f"{family.name}_count{labelstr} {count}")
+            else:
+                labelstr = _format_labels(family.labelnames, labels)
+                lines.append(
+                    f"{family.name}{labelstr} {_format_number(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _unescape_label_value(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    rest = text.strip()
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            raise ValueError(f"malformed label section: {text!r}")
+        labels[match.group("name")] = _unescape_label_value(match.group("value"))
+        rest = rest[match.end():].lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+        elif rest:
+            raise ValueError(f"malformed label section: {text!r}")
+    return labels
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse exposition text into ``{family: {"type", "help", "samples"}}``.
+
+    ``samples`` is a list of ``(sample name, labels dict, value)`` triples —
+    histogram ``_bucket`` / ``_sum`` / ``_count`` series appear under their
+    base family name, matching how :func:`render_prometheus` groups them.
+    Raises :class:`ValueError` on malformed lines, which is exactly what the
+    smoke test wants: a byte-level validity check, not a shape heuristic.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family_for(sample_name: str) -> Dict[str, object]:
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if trimmed and families.get(trimmed, {}).get("type") == HISTOGRAM:
+                base = trimmed
+                break
+        return families.setdefault(
+            base, {"type": "untyped", "help": "", "samples": []}
+        )
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            entry = families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )
+            entry["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in (COUNTER, GAUGE, HISTOGRAM, "summary", "untyped"):
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+            entry = families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )
+            entry["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue  # arbitrary comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {raw_line!r}")
+        labels = _parse_labels(match.group("labels") or "")
+        value = _parse_value(match.group("value"))
+        entry = family_for(match.group("name"))
+        entry["samples"].append((match.group("name"), labels, value))  # type: ignore[union-attr]
+    return families

@@ -1,0 +1,188 @@
+"""Structured JSON logging: one event per line, trace-id-correlated.
+
+Events are flat JSON objects — ``{"ts", "level", "logger", "event", ...}``
+plus the caller's fields — written one per line, so any log shipper (or
+``jq``) consumes them without a parsing grammar.  When the emitting code
+runs inside a traced job (see :mod:`repro.obs.trace`), the event carries
+the job's ``trace_id`` automatically, which is what lets a timeline and its
+log lines be joined after the fact.
+
+The default sink writes **warning**-and-above to stderr, so previously
+swallowed failure paths (cache write failures, skipped journal records)
+surface even in library use with no configuration at all.  ``repro serve
+--log-level/--log-file`` routes through :func:`configure_logging` to widen
+the level or redirect to a file.
+
+Below-threshold events cost one method call and one integer compare — the
+logging counterpart of the metrics registry's disabled-path contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from datetime import datetime, timezone
+from typing import Any, Dict, IO, Optional
+
+from repro.obs.trace import current_trace_id
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+LEVELS: Dict[str, int] = {
+    "debug": DEBUG,
+    "info": INFO,
+    "warning": WARNING,
+    "error": ERROR,
+}
+
+_LEVEL_NAMES = {number: name for name, number in LEVELS.items()}
+
+
+def _coerce_level(level: Any) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[str(level).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {', '.join(LEVELS)}"
+        ) from None
+
+
+class LogSink:
+    """Where structured events go: a threshold, a stream, a lock.
+
+    ``stream=None`` means "whatever ``sys.stderr`` is at emit time", so
+    test harnesses that swap stderr (pytest's capture) see the events.
+    """
+
+    def __init__(
+        self,
+        threshold: int = WARNING,
+        stream: Optional[IO[str]] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        self.threshold = threshold
+        self._stream = stream
+        self._path = path
+        self._file: Optional[IO[str]] = None
+        self._lock = threading.Lock()
+
+    def _target(self) -> IO[str]:
+        if self._path is not None:
+            if self._file is None or self._file.closed:
+                self._file = open(self._path, "a", encoding="utf-8")
+            return self._file
+        return self._stream if self._stream is not None else sys.stderr
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Serialise and write one event; emission failures never propagate."""
+        try:
+            line = json.dumps(record, default=str, separators=(",", ":"))
+            with self._lock:
+                target = self._target()
+                target.write(line + "\n")
+                target.flush()
+        except Exception:
+            # Logging is diagnostics, never control flow: a closed stream or
+            # an unserialisable field must not take the caller down.
+            pass
+
+    def close(self) -> None:
+        """Close the sink's file, if it opened one."""
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+
+
+_sink = LogSink()
+_sink_lock = threading.Lock()
+
+
+def configure_logging(
+    level: Any = "info",
+    log_file: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+) -> LogSink:
+    """Install a new process-wide log sink; returns it.
+
+    ``level`` is a name (``"debug"`` ... ``"error"``) or numeric threshold;
+    ``log_file`` appends events to a path (one JSON object per line);
+    ``stream`` writes to an explicit stream instead.  With neither, events
+    go to ``sys.stderr``.  The previous sink's file (if any) is closed.
+    """
+    global _sink
+    sink = LogSink(_coerce_level(level), stream=stream, path=log_file)
+    with _sink_lock:
+        previous, _sink = _sink, sink
+    if previous is not sink:
+        previous.close()
+    return sink
+
+
+def current_sink() -> LogSink:
+    """The active process-wide sink."""
+    return _sink
+
+
+class StructuredLogger:
+    """A named emitter of structured events.
+
+    Usage::
+
+        log = get_logger("repro.engine.cache")
+        log.warning("cache_write_failed", key=key, path=str(path))
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _log(self, level: int, event: str, fields: Dict[str, Any]) -> None:
+        sink = _sink
+        if level < sink.threshold:
+            return
+        record: Dict[str, Any] = {
+            "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
+            "level": _LEVEL_NAMES.get(level, str(level)),
+            "logger": self.name,
+            "event": event,
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        record.update(fields)
+        sink.emit(record)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        """Emit a debug-level event."""
+        self._log(DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        """Emit an info-level event."""
+        self._log(INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        """Emit a warning-level event."""
+        self._log(WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        """Emit an error-level event."""
+        self._log(ERROR, event, fields)
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The (cached) structured logger registered under ``name``."""
+    logger = _loggers.get(name)
+    if logger is None:
+        with _loggers_lock:
+            logger = _loggers.setdefault(name, StructuredLogger(name))
+    return logger

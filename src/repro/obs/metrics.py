@@ -1,0 +1,436 @@
+"""Thread-safe metrics registry: counters, gauges, histograms, labels.
+
+The model follows Prometheus: a *family* is a named metric with a type, a
+help string, and a fixed tuple of label names; a *child* is one concrete
+label combination holding the actual value.  Families are created
+idempotently (``registry.counter(...)`` twice returns the same object, and
+conflicting re-declarations raise), so instrumented modules can declare
+their families at import time and hold the handles forever.
+
+Two properties the instrumented hot paths rely on:
+
+* **cheap when disabled** — every recording method (``inc`` / ``set`` /
+  ``observe``) checks the registry's ``enabled`` flag first and returns
+  immediately when it is off, and no children are ever materialised, so a
+  disabled registry costs one method call and one attribute read per event
+  (pinned by ``BENCH_observability_overhead.json``);
+* **exact under concurrency** — every child guards its value with a lock,
+  so counters incremented from many worker threads sum exactly (pinned by
+  the 64-way burst tests).
+
+For the service's multi-*process* worker tier, :meth:`MetricsRegistry.snapshot`
+/ :meth:`MetricsRegistry.deltas_since` / :meth:`MetricsRegistry.merge_deltas`
+move counter and histogram increments across a pipe: a forked worker
+snapshots before a job, diffs after it, and ships the JSON-able delta list
+back to the parent, whose registry merges them — so ``GET /metrics`` in the
+parent accounts for work done in the children.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds, in seconds — spanning sub-millisecond
+#: cache hits to minute-scale DSE sweeps.  Fixed boundaries keep exposition
+#: stable and cross-process merges well-defined.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+class _Counter:
+    """One labelled counter value; monotonically non-decreasing."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase; use a gauge")
+        with self._lock:
+            self.value += amount
+
+
+class _Gauge:
+    """One labelled gauge value; settable and incrementable."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class _Histogram:
+    """One labelled histogram: per-bucket counts plus sum and count."""
+
+    __slots__ = ("_lock", "buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # trailing slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+
+_CHILD_TYPES = {COUNTER: _Counter, GAUGE: _Gauge, HISTOGRAM: _Histogram}
+
+
+class MetricFamily:
+    """A named metric with a fixed label schema and per-label-set children.
+
+    Recording goes through the convenience methods — ``inc`` (counters and
+    gauges), ``set`` (gauges), ``observe`` (histograms) — each taking the
+    label values as keyword arguments::
+
+        requests.inc(tier="disk", outcome="hit")
+        queue_wait.observe(0.012)
+
+    All of them no-op immediately while the owning registry is disabled.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        kind: str,
+        labelnames: Tuple[str, ...],
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.labelnames = labelnames
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+        self._callback: Optional[Callable[[], float]] = None
+
+    # -- child management -------------------------------------------------------
+
+    def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def child(self, **labels: Any) -> Any:
+        """The concrete child for one label combination (created on demand).
+
+        Unlike the recording conveniences this materialises the child even
+        while the registry is disabled — use it to pre-register a zero-valued
+        series so it shows up in the exposition before the first event.
+        """
+        key = self._key(labels)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(
+                    key,
+                    _Histogram(self.buckets)
+                    if self.kind == HISTOGRAM
+                    else _CHILD_TYPES[self.kind](),
+                )
+        return child
+
+    # -- recording (all cheap no-ops while disabled) ----------------------------
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Increment a counter or gauge child by ``amount``."""
+        if not self._registry.enabled:
+            return
+        self.child(**labels).inc(amount)
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        """Decrement a gauge child by ``amount``."""
+        if not self._registry.enabled:
+            return
+        self.child(**labels).dec(amount)
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set a gauge child to ``value``."""
+        if not self._registry.enabled:
+            return
+        self.child(**labels).set(value)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one histogram observation."""
+        if not self._registry.enabled:
+            return
+        self.child(**labels).observe(value)
+
+    def set_callback(self, callback: Optional[Callable[[], float]]) -> None:
+        """Bind an unlabelled gauge to ``callback``, evaluated at collection.
+
+        The hook for point-in-time values owned by live objects (queue
+        depth, busy workers): the gauge is read when ``/metrics`` renders
+        instead of being maintained on every transition.  Re-binding
+        replaces the previous callback (the latest composition root wins).
+        """
+        if self.kind != GAUGE or self.labelnames:
+            raise ValueError("callbacks are only supported on unlabelled gauges")
+        self._callback = callback
+
+    # -- introspection ----------------------------------------------------------
+
+    def value(self, **labels: Any) -> float:
+        """The current value of one child (0.0 if never recorded)."""
+        key = self._key(labels)
+        child = self._children.get(key)
+        if child is None:
+            return 0.0
+        return float(child.value) if self.kind != HISTOGRAM else float(child.sum)
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """Every (label values, child) pair, snapshot under the family lock."""
+        with self._lock:
+            items = list(self._children.items())
+        if self.kind == GAUGE and self._callback is not None:
+            try:
+                synthetic = _Gauge()
+                synthetic.value = float(self._callback())
+                items.append(((), synthetic))
+            except Exception:  # a dead composition root must not kill /metrics
+                pass
+        return items
+
+    def clear(self) -> None:
+        """Drop every child (the family itself stays registered)."""
+        with self._lock:
+            self._children.clear()
+
+
+class MetricsRegistry:
+    """The process-wide family catalogue behind ``/metrics``.
+
+    One registry normally exists per process (``repro.obs`` owns it);
+    instrumented modules declare families through the :meth:`counter` /
+    :meth:`gauge` / :meth:`histogram` accessors, which are idempotent so a
+    family can be declared wherever it is used.  ``enabled`` gates all
+    recording — see the module docstring for the overhead contract.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _family(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(
+                    self,
+                    name,
+                    help,
+                    kind,
+                    labelnames,
+                    tuple(buckets) if buckets is not None else DEFAULT_BUCKETS,
+                )
+                self._families[name] = family
+                return family
+        if family.kind != kind or family.labelnames != labelnames:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind} with "
+                f"labels {family.labelnames}; cannot re-register as {kind} "
+                f"with labels {labelnames}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Get or create a counter family."""
+        return self._family(name, help, COUNTER, labelnames)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], float]] = None,
+    ) -> MetricFamily:
+        """Get or create a gauge family (optionally callback-backed)."""
+        family = self._family(name, help, GAUGE, labelnames)
+        if callback is not None:
+            family.set_callback(callback)
+        return family
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        """Get or create a histogram family with fixed bucket boundaries."""
+        return self._family(name, help, HISTOGRAM, labelnames, buckets)
+
+    def families(self) -> List[MetricFamily]:
+        """Every registered family, sorted by name."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._families.get(name)
+
+    def clear(self) -> None:
+        """Zero every family's children; family handles stay valid.
+
+        Values are dropped in place rather than swapping the registry out,
+        so module-level family handles captured at import time keep
+        pointing at live state — the reset surface the tests and the
+        overhead benchmark use.
+        """
+        for family in self.families():
+            family.clear()
+
+    # -- cross-process movement -------------------------------------------------
+
+    def snapshot(self) -> Dict[Tuple[str, Tuple[str, ...]], Any]:
+        """Counter and histogram state, keyed by (family name, label values).
+
+        Counter state is the float value; histogram state is a
+        ``(counts tuple, sum, count)`` triple.  Gauges are excluded: they
+        are point-in-time readings, not accumulations, so shipping them
+        across processes would be meaningless.
+        """
+        state: Dict[Tuple[str, Tuple[str, ...]], Any] = {}
+        for family in self.families():
+            if family.kind == GAUGE:
+                continue
+            for labels, child in family.samples():
+                if family.kind == HISTOGRAM:
+                    state[(family.name, labels)] = (
+                        tuple(child.counts), child.sum, child.count,
+                    )
+                else:
+                    state[(family.name, labels)] = child.value
+        return state
+
+    def deltas_since(
+        self, baseline: Dict[Tuple[str, Tuple[str, ...]], Any]
+    ) -> List[Dict[str, Any]]:
+        """JSON-able increments accumulated since ``baseline``.
+
+        ``baseline`` is a prior :meth:`snapshot` of this registry.  Each
+        delta carries enough schema (kind, label names, buckets) for a
+        *different* registry to recreate the family on merge.
+        """
+        deltas: List[Dict[str, Any]] = []
+        for family in self.families():
+            if family.kind == GAUGE:
+                continue
+            for labels, child in family.samples():
+                before = baseline.get((family.name, labels))
+                if family.kind == HISTOGRAM:
+                    prior = before or ((0,) * len(child.counts), 0.0, 0)
+                    if child.count == prior[2]:
+                        continue
+                    deltas.append(
+                        {
+                            "kind": HISTOGRAM,
+                            "name": family.name,
+                            "help": family.help,
+                            "labelnames": list(family.labelnames),
+                            "labels": list(labels),
+                            "buckets": list(family.buckets),
+                            "counts": [
+                                now - then
+                                for now, then in zip(child.counts, prior[0])
+                            ],
+                            "sum": child.sum - prior[1],
+                            "count": child.count - prior[2],
+                        }
+                    )
+                else:
+                    increment = child.value - (before or 0.0)
+                    if increment == 0.0:
+                        continue
+                    deltas.append(
+                        {
+                            "kind": COUNTER,
+                            "name": family.name,
+                            "help": family.help,
+                            "labelnames": list(family.labelnames),
+                            "labels": list(labels),
+                            "value": increment,
+                        }
+                    )
+        return deltas
+
+    def merge_deltas(self, deltas: Iterable[Dict[str, Any]]) -> None:
+        """Fold a :meth:`deltas_since` list into this registry.
+
+        Families are created if absent (using the schema embedded in the
+        delta), so a parent merges a forked worker's increments without
+        having to pre-register every family the child touched.  Merging is
+        unconditional of ``enabled`` — the child already paid for the
+        events; dropping them here would lose accounting.
+        """
+        for delta in deltas:
+            labels = dict(zip(delta["labelnames"], delta["labels"]))
+            if delta["kind"] == HISTOGRAM:
+                family = self.histogram(
+                    delta["name"],
+                    delta.get("help", ""),
+                    delta["labelnames"],
+                    delta["buckets"],
+                )
+                child = family.child(**labels)
+                with child._lock:
+                    for index, amount in enumerate(delta["counts"]):
+                        child.counts[index] += amount
+                    child.sum += delta["sum"]
+                    child.count += delta["count"]
+            else:
+                family = self.counter(
+                    delta["name"], delta.get("help", ""), delta["labelnames"]
+                )
+                child = family.child(**labels)
+                with child._lock:
+                    child.value += delta["value"]

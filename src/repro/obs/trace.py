@@ -1,0 +1,225 @@
+"""Span-based tracing: trace ids, the current-trace context, the span store.
+
+A *trace* is one job's journey through the service — minted at HTTP
+admission (or CLI entry) as a 16-hex-character ``trace_id``, carried on the
+job record through the queue and across the pipe into forked workers, and
+assembled into a per-job timeline by ``GET /jobs/<id>/trace``.
+
+A *span* is one named, timed section inside a trace (``engine.run_network``,
+``cache.get``, ...).  Instrumented code never threads trace ids through its
+signatures; instead the worker executing a job installs the trace id into a
+:mod:`contextvars` context variable (:func:`set_current_trace`) and every
+:func:`span` inside that dynamic extent records against it.  Timestamps are
+``time.monotonic()`` — on Linux a system-wide clock, so spans recorded in a
+forked worker process are directly comparable with the parent's.
+
+The overhead contract matches the metrics registry: :func:`span` returns a
+shared no-op context manager when tracing is disabled *or* no trace is
+current, so untraced code (experiments, the bare CLI) pays one function
+call and one context-variable read per span site.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+_current_trace: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-character trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id installed in the current context, if any."""
+    return _current_trace.get()
+
+
+def set_current_trace(trace_id: Optional[str]) -> contextvars.Token:
+    """Install ``trace_id`` as the current trace; returns the reset token."""
+    return _current_trace.set(trace_id)
+
+
+def reset_current_trace(token: contextvars.Token) -> None:
+    """Undo a :func:`set_current_trace` (restores the previous trace)."""
+    _current_trace.reset(token)
+
+
+@dataclass
+class Span:
+    """One named, timed section of a trace.
+
+    ``start`` and ``end`` are ``time.monotonic()`` readings; ``attrs`` is a
+    small JSON-able dict of annotations (tier, method, counts).
+    """
+
+    trace_id: str
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span as a JSON-able record (what crosses worker pipes)."""
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(
+            trace_id=record["trace_id"],
+            name=record["name"],
+            start=record["start"],
+            end=record["end"],
+            attrs=dict(record.get("attrs") or {}),
+        )
+
+
+class TraceStore:
+    """Bounded, thread-safe span storage keyed by trace id.
+
+    Holds up to ``max_traces`` traces; beyond the bound the oldest-started
+    trace is evicted wholesale, so a long-lived service's trace memory
+    stays flat regardless of traffic.
+    """
+
+    def __init__(self, max_traces: int = 1024) -> None:
+        if max_traces < 1:
+            raise ValueError("max_traces must be positive")
+        self.max_traces = max_traces
+        self._traces: "OrderedDict[str, List[Span]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def add(self, span: Span) -> None:
+        """Record one span (evicting the oldest trace past the bound)."""
+        with self._lock:
+            spans = self._traces.get(span.trace_id)
+            if spans is None:
+                spans = self._traces[span.trace_id] = []
+                while len(self._traces) > self.max_traces:
+                    self._traces.popitem(last=False)
+            spans.append(span)
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        """Record many spans (e.g. a batch shipped back from a worker)."""
+        for span in spans:
+            self.add(span)
+
+    def spans_for(self, trace_id: str) -> List[Span]:
+        """Every recorded span of one trace, in recording order."""
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def drain(self, trace_id: str) -> List[Span]:
+        """Remove and return one trace's spans (a worker shipping them out)."""
+        with self._lock:
+            return self._traces.pop(trace_id, [])
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def clear(self) -> None:
+        """Drop every stored trace."""
+        with self._lock:
+            self._traces.clear()
+
+
+class _NullSpan:
+    """Shared no-op context manager: the disabled / untraced fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Accept and discard annotations (mirrors :class:`_LiveSpan`)."""
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """A recording span context manager; created by :func:`span`."""
+
+    __slots__ = ("_store", "_trace_id", "_name", "_attrs", "_start")
+
+    def __init__(
+        self, store: TraceStore, trace_id: str, name: str, attrs: Dict[str, Any]
+    ) -> None:
+        self._store = store
+        self._trace_id = trace_id
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> None:
+        end = time.monotonic()
+        if exc_type is not None:
+            self._attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
+        self._store.add(
+            Span(self._trace_id, self._name, self._start, end, self._attrs)
+        )
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach annotations to the span while it is open."""
+        self._attrs.update(attrs)
+
+
+class Tracer:
+    """The process-wide tracing switchboard (owned by :mod:`repro.obs`).
+
+    Couples the enabled flag with the span store so :func:`repro.obs.span`
+    resolves both in one attribute hop.
+    """
+
+    def __init__(self, store: Optional[TraceStore] = None, enabled: bool = False):
+        self.enabled = enabled
+        self.store = store if store is not None else TraceStore()
+
+    def span(self, name: str, **attrs: Any):
+        """A context manager timing one section of the current trace.
+
+        Returns the shared no-op manager when tracing is disabled or no
+        trace is current, so span sites cost almost nothing outside the
+        service (see the module docstring's overhead contract).
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        trace_id = _current_trace.get()
+        if trace_id is None:
+            return NULL_SPAN
+        return _LiveSpan(self.store, trace_id, name, attrs)
+
+    def record(self, span: Span) -> None:
+        """Record an externally-constructed span (e.g. the admission span)."""
+        if self.enabled:
+            self.store.add(span)

@@ -37,6 +37,12 @@ The pieces (each its own module, composable without the HTTP layer):
   ``repro submit``; retries 429s transparently
   (:class:`BackpressureError`).
 
+Every tier reports into :mod:`repro.obs` — the service enables the
+process-global metrics registry and tracer at construction, mints a
+``trace_id`` per submission, and serves ``GET /metrics`` (Prometheus text)
+plus ``GET /jobs/<id>/trace`` (the per-job span timeline).  See
+``docs/observability.md``.
+
 Quickstart (in one process; see ``examples/service_client.py``)::
 
     from repro.service import ServiceClient, create_server

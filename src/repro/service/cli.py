@@ -1,16 +1,20 @@
-"""``repro serve`` and ``repro submit`` — the service's command line.
+"""``repro serve``, ``repro submit`` and ``repro stats`` — the service CLI.
 
 ``repro serve`` boots the HTTP service in the foreground on one warm
 engine; ``repro submit`` is a thin :class:`~repro.service.client.ServiceClient`
-wrapper that submits a scenario, waits, and prints the result JSON::
+wrapper that submits a scenario, waits, and prints the result JSON;
+``repro stats`` prints a running service's counters once or continuously::
 
     repro serve --port 8000 --workers 4 --cache-dir ~/.cache/repro-scnn
     repro submit network --param network=alexnet
     repro submit fig8 --param networks=alexnet,googlenet --url http://host:8000
+    repro stats --watch --interval 2
 
 ``--param key=value`` values are parsed as JSON when possible (``seed=3``
 is the integer 3, ``include_baseline=false`` a boolean) and fall back to
-plain strings (``network=alexnet``).
+plain strings (``network=alexnet``).  ``repro serve --log-level info``
+widens the structured JSON event log (warnings-and-up by default) and
+``--log-file`` redirects it from stderr to a file.
 """
 
 from __future__ import annotations
@@ -86,6 +90,20 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="threshold for structured JSON log events (default: warning)",
+    )
+    parser.add_argument(
+        "--log-file", default=None, metavar="PATH",
+        help="append structured JSON log events here instead of stderr",
+    )
+    parser.add_argument(
+        "--no-obs", action="store_true",
+        help="leave the metrics registry and tracer disabled (/metrics and "
+        "/jobs/<id>/trace serve empty data)",
+    )
     return parser
 
 
@@ -96,7 +114,10 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.engine import SimulationEngine
     from repro.service.server import create_server
 
+    from repro import obs
+
     args = build_serve_parser().parse_args(argv)
+    obs.configure_logging(args.log_level, log_file=args.log_file)
     cache_dir = False if args.no_cache else args.cache_dir
     engine = SimulationEngine(
         cache_dir=cache_dir,
@@ -114,6 +135,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         max_queue_depth=args.max_queue_depth,
         fast_path=not args.no_fast_path,
         verbose=args.verbose,
+        observability=not args.no_obs,
     )
     print(
         f"repro service listening on {server.url} "
@@ -259,3 +281,89 @@ def submit_main(argv: Optional[Sequence[str]] = None) -> int:
         print(str(error), file=sys.stderr)
         return 1
     return 0
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    """The argument parser behind ``repro stats``."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Show a running repro service's live counters.",
+    )
+    parser.add_argument(
+        "--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+        help=f"service base URL (default: http://127.0.0.1:{DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--watch", action="store_true",
+        help="refresh continuously until interrupted",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period with --watch (default: 2)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the raw Prometheus /metrics text instead of the summary",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw /stats JSON instead of the summary",
+    )
+    return parser
+
+
+def _stats_summary(stats: Dict[str, Any]) -> str:
+    """One human-readable block from a ``/stats`` document."""
+    engine = stats.get("engine", {})
+    queue = stats.get("queue", {})
+    workers = stats.get("workers", {})
+    service = stats.get("service", {})
+    jobs = queue.get("jobs", {})
+    lines = [
+        f"mode:      {service.get('mode', '?')} x {workers.get('num_workers', '?')} workers"
+        f" ({workers.get('busy_workers', 0)} busy)",
+        f"queue:     depth {queue.get('depth', 0)}"
+        f" | done {jobs.get('done', 0)} | failed {jobs.get('failed', 0)}"
+        f" | cancelled {jobs.get('cancelled', 0)}",
+        f"cache:     hit rate {engine.get('hit_rate', 0.0):.1%}"
+        f" ({engine.get('hits', 0)} hits / {engine.get('misses', 0)} misses)",
+        f"dedupe:    fast-path {service.get('fast_path_hits', 0)}"
+        f" | coalesced {service.get('coalesced', 0)}"
+        f" | rejected {service.get('backpressure_rejections', 0)}",
+        f"retries:   {workers.get('retries', 0)}"
+        f" | journal errors {queue.get('journal_errors', 0)}",
+    ]
+    return "\n".join(lines)
+
+
+def stats_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Print (or watch) a running service's counters (``repro stats``)."""
+    import time
+
+    args = build_stats_parser().parse_args(argv)
+    client = ServiceClient(args.url)
+
+    def render() -> str:
+        if args.metrics:
+            return client.metrics_text().rstrip("\n")
+        stats = client.stats()
+        if args.json:
+            return json.dumps(stats, indent=2, sort_keys=True)
+        return _stats_summary(stats)
+
+    try:
+        if not args.watch:
+            print(render())
+            return 0
+        while True:
+            block = render()
+            # Clear + home so the watch view repaints in place.
+            sys.stdout.write("\x1b[2J\x1b[H" if sys.stdout.isatty() else "")
+            print(f"{args.url} @ {time.strftime('%H:%M:%S')}")
+            print(block, flush=True)
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 1

@@ -110,6 +110,29 @@ class ServiceClient:
         """The ``GET /stats`` counters (engine, queue, workers, service)."""
         return self._request("GET", "/stats")
 
+    def metrics_text(self) -> str:
+        """The raw ``GET /metrics`` body (Prometheus text format).
+
+        Returned as text, not JSON — feed it to
+        :func:`repro.obs.parse_prometheus_text` for a structured view.
+        """
+        request = urllib.request.Request(f"{self.base_url}/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                f"GET /metrics failed: {error}", status=error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {error.reason}"
+            ) from None
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's span timeline (``GET /jobs/<id>/trace``)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
     def scenarios(self) -> List[Dict[str, Any]]:
         """The scenario catalogue with parameter schemas."""
         return self._request("GET", "/scenarios")["scenarios"]

@@ -27,10 +27,20 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.engine.cache import ResultCache, fingerprint
 from repro.service.jobs import JobQueue
 
 PAYLOAD_SUBDIR = "payloads"
+
+_FAST_PATH_HITS = obs.counter(
+    "repro_fast_path_hits_total",
+    "Requests answered straight from the payload store (job born done).",
+)
+_COALESCED = obs.counter(
+    "repro_coalesced_total",
+    "Requests attached as followers of an identical in-flight job.",
+)
 
 
 def payload_key(scenario: str, params: Dict[str, Any]) -> str:
@@ -80,6 +90,7 @@ class PayloadStore:
                 value = self._memory.pop(key)
                 self._memory[key] = value
                 self.hits += 1
+                _FAST_PATH_HITS.inc()
                 return value
         if self.disk is not None:
             value = self.disk.get(key)
@@ -87,6 +98,7 @@ class PayloadStore:
                 with self._lock:
                     self._remember(key, value)
                     self.hits += 1
+                _FAST_PATH_HITS.inc()
                 return value
         with self._lock:
             self.misses += 1
@@ -148,6 +160,7 @@ class RequestCoalescer:
                 self._group_by_leader[leader][1].append(job_id)
                 self._leader_by_follower[job_id] = leader
                 self.coalesced += 1
+                _COALESCED.inc()
                 return leader
             self._leader_by_key[key] = job_id
             self._group_by_leader[job_id] = (key, [])

@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro import obs
+
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
@@ -48,6 +50,25 @@ JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
 
 # States a job can never leave.
 TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+_log = obs.get_logger("repro.service.jobs")
+
+_JOBS_TOTAL = obs.counter(
+    "repro_jobs_total", "Jobs settled into a terminal state.", ("outcome",)
+)
+_JOB_DURATION = obs.histogram(
+    "repro_job_duration_seconds", "Job run duration (claim to settle), seconds."
+)
+_QUEUE_WAIT = obs.histogram(
+    "repro_queue_wait_seconds", "Time jobs spent queued before a worker claim."
+)
+_JOURNAL_FAILURES = obs.counter(
+    "repro_journal_write_failures_total", "Journal writes that failed with OSError."
+)
+_JOURNAL_CORRUPT = obs.counter(
+    "repro_journal_corrupt_records_total",
+    "Journal records skipped at load because they were unreadable or malformed.",
+)
 
 
 class UnknownJobError(KeyError):
@@ -62,6 +83,12 @@ class Job:
     at 1 on the happy path and reaches 2 when a crashed worker's job was
     re-queued and claimed again (the retry-once policy of the process
     worker tier).
+
+    The ``*_at`` timestamps are wall-clock (``time.time()``) for display;
+    the ``*_mono`` stamps are ``time.monotonic()`` readings taken at the
+    same transitions and are what all duration math uses — wall-clock
+    differences can go negative under NTP adjustment.  ``trace_id`` links
+    the job to its spans in the trace store (``GET /jobs/<id>/trace``).
     """
 
     id: str
@@ -75,10 +102,28 @@ class Job:
     result: Optional[Any] = None
     error: Optional[str] = None
     attempts: int = 0
+    trace_id: Optional[str] = None
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
 
     @property
     def is_terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Run duration in seconds, or ``None`` if the job never ran.
+
+        Prefers the monotonic stamps; falls back to wall-clock differences
+        (clamped at zero) only for records restored from an older journal
+        schema that lacked them.
+        """
+        if self.started_mono is not None and self.finished_mono is not None:
+            return max(0.0, self.finished_mono - self.started_mono)
+        if self.started_at is not None and self.finished_at is not None:
+            return max(0.0, self.finished_at - self.started_at)
+        return None
 
     def to_record(self) -> Dict[str, Any]:
         """The job as a JSON-serializable record (what the API returns)."""
@@ -94,6 +139,10 @@ class Job:
             "result": self.result,
             "error": self.error,
             "attempts": self.attempts,
+            "trace_id": self.trace_id,
+            "submitted_mono": self.submitted_mono,
+            "started_mono": self.started_mono,
+            "finished_mono": self.finished_mono,
         }
 
     @classmethod
@@ -163,10 +212,17 @@ class JobQueue:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(job.to_record(), handle)
             os.replace(tmp_name, path)
-        except OSError:
+        except OSError as error:
             if tmp_name is not None:
                 Path(tmp_name).unlink(missing_ok=True)
             self.journal_errors += 1
+            _JOURNAL_FAILURES.inc()
+            _log.warning(
+                "journal_write_failed",
+                job_id=job.id,
+                path=str(path),
+                error=str(error),
+            )
         except BaseException:
             if tmp_name is not None:
                 Path(tmp_name).unlink(missing_ok=True)
@@ -205,20 +261,38 @@ class JobQueue:
         for path in sorted(queue.journal_dir.glob("*.json")):
             try:
                 record = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
+            except (OSError, ValueError) as error:
+                _JOURNAL_CORRUPT.inc()
+                _log.warning(
+                    "journal_record_skipped", path=str(path), error=str(error)
+                )
                 continue
             if isinstance(record, dict):
                 records.append(record)
+            else:
+                _JOURNAL_CORRUPT.inc()
+                _log.warning(
+                    "journal_record_skipped",
+                    path=str(path),
+                    error="record is not a JSON object",
+                )
         records.sort(key=lambda record: record.get("submitted_at") or 0.0)
         for record in records:
             try:
                 job = Job.from_record(record)
-            except TypeError:  # record lacks required fields
+            except TypeError as error:  # record lacks required fields
+                _JOURNAL_CORRUPT.inc()
+                _log.warning(
+                    "journal_record_skipped",
+                    path=str(queue.journal_dir / f"{record.get('id')}.json"),
+                    error=str(error),
+                )
                 continue
             requeued = not job.is_terminal
             if requeued:
                 job.state = QUEUED
                 job.started_at = None
+                job.started_mono = None
             with queue._lock:
                 queue._jobs[job.id] = job
                 if job.state == QUEUED:
@@ -243,6 +317,7 @@ class JobQueue:
         params: Optional[Dict[str, Any]] = None,
         priority: int = 0,
         hold: bool = False,
+        trace_id: Optional[str] = None,
     ) -> Job:
         """Enqueue a new job and return its (queued) record.
 
@@ -257,6 +332,7 @@ class JobQueue:
             scenario=scenario,
             params=dict(params or {}),
             priority=int(priority),
+            trace_id=trace_id,
         )
         with self._available:
             self._jobs[job.id] = job
@@ -277,6 +353,7 @@ class JobQueue:
         params: Optional[Dict[str, Any]] = None,
         priority: int = 0,
         result: Any = None,
+        trace_id: Optional[str] = None,
     ) -> Job:
         """Record a job that is already finished — the cache fast path.
 
@@ -284,6 +361,7 @@ class JobQueue:
         attached and never touches the heap, so no worker ever sees it.
         """
         now = time.time()
+        mono = time.monotonic()
         job = Job(
             id=uuid.uuid4().hex[:12],
             scenario=scenario,
@@ -293,11 +371,15 @@ class JobQueue:
             submitted_at=now,
             finished_at=now,
             result=result,
+            trace_id=trace_id,
+            submitted_mono=mono,
+            finished_mono=mono,
         )
         with self._lock:
             self._jobs[job.id] = job
             self._journal(job)
             self._prune_history()
+        _JOBS_TOTAL.inc(outcome=DONE)
         return job
 
     def enqueue(self, job_id: str) -> Job:
@@ -330,6 +412,7 @@ class JobQueue:
             if job.state == RUNNING:
                 job.state = QUEUED
                 job.started_at = None
+                job.started_mono = None
                 heapq.heappush(
                     self._heap, (-job.priority, next(self._sequence), job.id)
                 )
@@ -357,8 +440,10 @@ class JobQueue:
                         continue
                     job.state = RUNNING
                     job.started_at = time.time()
+                    job.started_mono = time.monotonic()
                     job.attempts += 1
                     self._journal(job)
+                    _QUEUE_WAIT.observe(job.started_mono - job.submitted_mono)
                     return job
                 if deadline is None:
                     self._available.wait()
@@ -393,10 +478,15 @@ class JobQueue:
             # observe state == done with a still-null result.
             job.result = result
             job.finished_at = time.time()
+            job.finished_mono = time.monotonic()
             job.state = DONE
             self._held.discard(job.id)
             self._journal(job)
             self._prune_history()
+        _JOBS_TOTAL.inc(outcome=DONE)
+        duration = job.duration_s
+        if duration is not None:
+            _JOB_DURATION.observe(duration)
         return job
 
     def mark_failed(self, job_id: str, error: str) -> Job:
@@ -407,10 +497,15 @@ class JobQueue:
                 return job
             job.error = error
             job.finished_at = time.time()
+            job.finished_mono = time.monotonic()
             job.state = FAILED
             self._held.discard(job.id)
             self._journal(job)
             self._prune_history()
+        _JOBS_TOTAL.inc(outcome=FAILED)
+        duration = job.duration_s
+        if duration is not None:
+            _JOB_DURATION.observe(duration)
         return job
 
     def cancel(self, job_id: str) -> Job:
@@ -419,14 +514,19 @@ class JobQueue:
         Returns the job either way — callers inspect ``state`` to learn
         whether the cancellation took effect.
         """
+        cancelled = False
         with self._lock:
             job = self._require(job_id)
             if job.state == QUEUED:
                 job.finished_at = time.time()
+                job.finished_mono = time.monotonic()
                 job.state = CANCELLED
                 self._held.discard(job.id)
                 self._journal(job)
                 self._prune_history()
+                cancelled = True
+        if cancelled:
+            _JOBS_TOTAL.inc(outcome=CANCELLED)
         return job
 
     # -- introspection ----------------------------------------------------------

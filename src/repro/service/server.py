@@ -15,6 +15,8 @@ is deliberately small:
                             bound (backpressure).
 ``GET /jobs``               every job record, newest first (results elided).
 ``GET /jobs/<id>``          one job record: state, timestamps, error.
+``GET /jobs/<id>/trace``    the job's span timeline (admission → queue →
+                            run, engine/cache spans nested under run).
 ``DELETE /jobs/<id>``       cancel a *queued* job (running jobs finish).
 ``GET /results/<id>``       the result payload; 409 while the job is still
                             queued/running, 410 if it failed or was cancelled.
@@ -22,6 +24,8 @@ is deliberately small:
 ``GET /healthz``            liveness: 200 once the service accepts jobs.
 ``GET /stats``              engine cache hit-rate, queue depth, coalesce and
                             fast-path counters, per-worker liveness.
+``GET /metrics``            every metric family in Prometheus text format
+                            (see :mod:`repro.obs` and docs/observability.md).
 ==========================  ====================================================
 
 :class:`SimulationService` is the transport-free composition root (queue +
@@ -37,11 +41,14 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.engine import SimulationEngine, default_engine
+from repro.obs import Span
 from repro.service.coalesce import (
     CoalescingSink,
     PayloadStore,
@@ -60,6 +67,27 @@ from repro.service.scenarios import ScenarioError, ScenarioRegistry, default_reg
 from repro.service.worker import ProcessWorkerPool, WorkerPool, engine_config_of
 
 SERVICE_MODES = ("thread", "process")
+
+_SUBMISSIONS = obs.counter(
+    "repro_submissions_total",
+    "Admitted submissions by tier (fast_path, coalesced, enqueued).",
+    ("tier",),
+)
+_BACKPRESSURE = obs.counter(
+    "repro_backpressure_rejections_total",
+    "Submissions rejected because the queue was at its depth bound.",
+)
+_HTTP_REQUESTS = obs.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, endpoint and status code.",
+    ("method", "endpoint", "status"),
+)
+_QUEUE_DEPTH = obs.gauge(
+    "repro_queue_depth", "Jobs currently waiting to be claimed."
+)
+_BUSY_WORKERS = obs.gauge(
+    "repro_busy_workers", "Workers currently executing a job."
+)
 
 
 class QueueFullError(RuntimeError):
@@ -107,6 +135,10 @@ class SimulationService:
             consume no worker.  ``None`` disables backpressure.
         fast_path: answer repeat submissions straight from the payload
             store (job records born ``done``) without touching the queue.
+        observability: turn on the process-wide metrics registry and
+            tracer (:func:`repro.obs.enable`) so ``/metrics`` and
+            ``/jobs/<id>/trace`` have something to report.  ``False``
+            leaves :mod:`repro.obs` in whatever state the embedder chose.
     """
 
     def __init__(
@@ -118,6 +150,7 @@ class SimulationService:
         mode: str = "thread",
         max_queue_depth: Optional[int] = None,
         fast_path: bool = True,
+        observability: bool = True,
     ) -> None:
         if mode not in SERVICE_MODES:
             raise ValueError(
@@ -125,6 +158,10 @@ class SimulationService:
             )
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be positive (or None)")
+        if observability:
+            # Before anything else records (journal load, pool forks): the
+            # forked worker processes inherit the enabled flag.
+            obs.enable()
         self.engine = engine if engine is not None else default_engine()
         self.registry = registry if registry is not None else default_registry()
         self.mode = mode
@@ -159,6 +196,12 @@ class SimulationService:
             )
         self._rejections = 0
         self._lock = threading.Lock()
+        # Point-in-time gauges read at /metrics collection.  Latest
+        # composition root wins — ephemeral test services rebind freely.
+        _QUEUE_DEPTH.set_callback(self.queue.depth)
+        _BUSY_WORKERS.set_callback(
+            lambda: self.workers.stats()["busy_workers"]
+        )
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -183,7 +226,9 @@ class SimulationService:
         Raises :class:`ScenarioError` on an unknown scenario or invalid
         parameters — nothing unrunnable ever reaches the queue.  The job is
         stored with *normalised* parameters (defaults applied), so its
-        cache fingerprint is canonical.  Three admission tiers, in order:
+        cache fingerprint is canonical.  A ``trace_id`` is minted here —
+        admission is the root of every job's timeline.  Three admission
+        tiers, in order:
 
         1. **fast path** — the payload store already holds this request's
            finished result: the returned job is born ``done``;
@@ -193,14 +238,23 @@ class SimulationService:
            subject to the ``max_queue_depth`` bound
            (:class:`QueueFullError` beyond it).
         """
+        trace_id = obs.new_trace_id()
+        admission_start = time.monotonic()
         normalised = self.registry.get(scenario).validate(params)
         key = payload_key(scenario, normalised)
         if self.fast_path:
             payload = self.payloads.get(key)
             if payload is not None:
-                return self.queue.submit_done(
-                    scenario, normalised, priority=priority, result=payload
+                job = self.queue.submit_done(
+                    scenario,
+                    normalised,
+                    priority=priority,
+                    result=payload,
+                    trace_id=trace_id,
                 )
+                _SUBMISSIONS.inc(tier="fast_path")
+                self._record_admission(job, admission_start, tier="fast_path")
+                return job
         will_coalesce = self.coalescer.leading(key)
         if (
             not will_coalesce
@@ -209,17 +263,42 @@ class SimulationService:
         ):
             with self._lock:
                 self._rejections += 1
+            _BACKPRESSURE.inc()
             retry_after = self.retry_after()
             raise QueueFullError(
                 f"queue depth is at its bound ({self.max_queue_depth}); "
                 f"retry in {retry_after}s",
                 retry_after=retry_after,
             )
-        job = self.queue.submit(scenario, normalised, priority=priority, hold=True)
+        job = self.queue.submit(
+            scenario, normalised, priority=priority, hold=True, trace_id=trace_id
+        )
         leader = self.coalescer.attach(key, job.id)
         if leader is None:
             self.queue.enqueue(job.id)
+            tier = "enqueued"
+        else:
+            tier = "coalesced"
+        _SUBMISSIONS.inc(tier=tier)
+        self._record_admission(job, admission_start, tier=tier)
         return job
+
+    def _record_admission(self, job: Job, start: float, tier: str) -> None:
+        """Record the admission span — validation through job creation.
+
+        Its end is pinned to the job's own ``submitted_mono`` stamp so the
+        admission and queue-wait spans tile exactly on the timeline.
+        """
+        if obs.enabled() and job.trace_id is not None:
+            obs.record_span(
+                Span(
+                    trace_id=job.trace_id,
+                    name="admission",
+                    start=min(start, job.submitted_mono),
+                    end=job.submitted_mono,
+                    attrs={"tier": tier, "scenario": job.scenario},
+                )
+            )
 
     def retry_after(self) -> int:
         """Suggested client back-off, from queue depth and recent job times.
@@ -229,11 +308,9 @@ class SimulationService:
         its purpose is spacing retries, not scheduling them.
         """
         durations = [
-            job.finished_at - job.started_at
+            job.duration_s
             for job in self.queue.jobs()[:20]
-            if job.state == DONE
-            and job.started_at is not None
-            and job.finished_at is not None
+            if job.state == DONE and job.duration_s is not None
         ]
         average = (sum(durations) / len(durations)) if durations else 1.0
         estimate = math.ceil(
@@ -244,6 +321,80 @@ class SimulationService:
     def job(self, job_id: str) -> Job:
         """The current record of one job."""
         return self.queue.get(job_id)
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The per-job timeline assembled from spans and the job's stamps.
+
+        The three top-level phases — ``admission`` (HTTP admission through
+        job creation), ``queue`` (waiting for a worker), ``run`` (claim to
+        settle) — are derived from the job record's own monotonic stamps,
+        so they tile exactly: their durations sum to the timeline's total.
+        Engine and cache spans recorded during execution (in this process
+        or shipped back from a forked worker) nest as children of ``run``.
+        All offsets are seconds relative to the timeline origin (the start
+        of admission).
+        """
+        job = self.queue.get(job_id)
+        document: Dict[str, Any] = {
+            "id": job.id,
+            "trace_id": job.trace_id,
+            "scenario": job.scenario,
+            "state": job.state,
+            "complete": job.is_terminal,
+            "spans": [],
+            "duration_s": None,
+            "job_duration_s": job.duration_s,
+        }
+        stored = (
+            obs.trace_store().spans_for(job.trace_id)
+            if job.trace_id is not None
+            else []
+        )
+        admission = next((s for s in stored if s.name == "admission"), None)
+        origin = admission.start if admission is not None else job.submitted_mono
+
+        def entry(
+            name: str, start: float, end: float, attrs: Optional[Dict[str, Any]]
+        ) -> Dict[str, Any]:
+            record = {
+                "name": name,
+                "start_s": start - origin,
+                "end_s": end - origin,
+                "duration_s": max(0.0, end - start),
+            }
+            if attrs:
+                record["attrs"] = attrs
+            return record
+
+        spans: List[Dict[str, Any]] = []
+        if admission is not None:
+            spans.append(
+                entry(
+                    "admission", admission.start, job.submitted_mono, admission.attrs
+                )
+            )
+        end = None
+        if job.started_mono is not None:
+            spans.append(entry("queue", job.submitted_mono, job.started_mono, None))
+            if job.finished_mono is not None:
+                run = entry("run", job.started_mono, job.finished_mono, None)
+                run["children"] = [
+                    entry(span.name, span.start, span.end, span.attrs)
+                    for span in stored
+                    if span.name != "admission"
+                ]
+                spans.append(run)
+                end = job.finished_mono
+        elif job.finished_mono is not None:
+            # Settled without ever running: a fast-path job (born done) or
+            # a job cancelled while queued.
+            if job.finished_mono > job.submitted_mono:
+                spans.append(entry("queue", job.submitted_mono, job.finished_mono, None))
+            end = job.finished_mono
+        if end is not None:
+            document["duration_s"] = end - origin
+        document["spans"] = spans
+        return document
 
     def cancel(self, job_id: str) -> Job:
         """Cancel a queued job; promotes a follower if a leader dies queued.
@@ -306,6 +457,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- response helpers -------------------------------------------------------
 
+    def _count_request(self, status: int) -> None:
+        head, _ = self._route()
+        _HTTP_REQUESTS.inc(
+            method=self.command, endpoint=head or "unknown", status=str(status)
+        )
+
     def _send_json(
         self,
         status: int,
@@ -313,11 +470,21 @@ class _Handler(BaseHTTPRequestHandler):
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._count_request(status)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self._count_request(status)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -336,9 +503,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route(self) -> Tuple[str, Optional[str]]:
         parts = [part for part in self.path.split("?", 1)[0].split("/") if part]
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+            # The one three-segment endpoint: /jobs/<id>/trace.
+            return "jobs-trace", parts[1]
         if len(parts) > 2:
-            # No endpoint is deeper than two segments; a longer path (e.g.
-            # /jobs/<id>/result) must 404, not act on its prefix.
+            # No other endpoint is deeper than two segments; a longer path
+            # (e.g. /jobs/<id>/result) must 404, not act on its prefix.
             return "", None
         head = parts[0] if parts else ""
         tail = parts[1] if len(parts) > 1 else None
@@ -355,11 +525,19 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self.service.stats())
             elif head == "scenarios" and tail is None:
                 self._send_json(200, {"scenarios": self.service.registry.describe()})
+            elif head == "metrics" and tail is None:
+                self._send_text(
+                    200,
+                    obs.render_prometheus(obs.registry()),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             elif head == "jobs" and tail is None:
                 records = [_public_record(job) for job in self.service.queue.jobs()]
                 self._send_json(200, {"jobs": records})
             elif head == "jobs":
                 self._send_json(200, _public_record(self.service.job(tail)))
+            elif head == "jobs-trace" and tail is not None:
+                self._send_json(200, self.service.trace(tail))
             elif head == "results" and tail is not None:
                 self._send_result(tail)
             else:
@@ -446,6 +624,18 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, _public_record(job))
 
 
+class _BurstTolerantServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` with a listen backlog sized for bursts.
+
+    The ``socketserver`` default backlog (5) overflows when a concurrent
+    submission burst opens dozens of connections at once; an overflowed
+    accept queue surfaces client-side as ``ConnectionResetError``.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
 class ServiceServer:
     """A :class:`SimulationService` bound to a listening socket."""
 
@@ -457,8 +647,7 @@ class ServiceServer:
         verbose: bool = False,
     ) -> None:
         self.service = service
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.daemon_threads = True
+        self._httpd = _BurstTolerantServer((host, port), _Handler)
         self._httpd.service = service  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
@@ -522,6 +711,7 @@ def create_server(
     max_queue_depth: Optional[int] = None,
     fast_path: bool = True,
     verbose: bool = False,
+    observability: bool = True,
 ) -> ServiceServer:
     """Compose a service and bind it; ``port=0`` picks an ephemeral port."""
     service = SimulationService(
@@ -532,5 +722,6 @@ def create_server(
         mode=mode,
         max_queue_depth=max_queue_depth,
         fast_path=fast_path,
+        observability=observability,
     )
     return ServiceServer(service, host=host, port=port, verbose=verbose)

@@ -36,13 +36,23 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.engine import SimulationEngine
+from repro.obs import Span
 from repro.service.jobs import DONE, FAILED, Job, JobQueue
 from repro.service.scenarios import ScenarioError, ScenarioRegistry
 
 # How many times a job may be claimed before a worker death marks it failed
 # instead of re-queueing it: the retry-once policy.
 MAX_ATTEMPTS = 2
+
+_log = obs.get_logger("repro.service.worker")
+
+_WORKER_RESTARTS = obs.counter(
+    "repro_worker_restarts_total",
+    "Worker processes replaced after dying (per worker slot).",
+    ("worker",),
+)
 
 
 class WorkerPool:
@@ -141,6 +151,9 @@ class WorkerPool:
                     self._current.pop(name, None)
 
     def _execute(self, job: Job) -> None:
+        # Install the job's trace id for this thread's dynamic extent so
+        # engine/cache spans land on the job's timeline.
+        token = obs.set_current_trace(job.trace_id) if job.trace_id else None
         try:
             scenario = self.registry.get(job.scenario)
             result = scenario.run(self.engine, job.params)
@@ -153,6 +166,9 @@ class WorkerPool:
         else:
             settled = self.sink.mark_done(job.id, result)
             outcome = settled.state
+        finally:
+            if token is not None:
+                obs.reset_current_trace(token)
         # Count what actually got recorded: a straggler whose job was
         # already settled (shutdown, retry elsewhere) changed nothing.
         with self._lock:
@@ -190,14 +206,24 @@ class WorkerPool:
 def _worker_process_main(
     connection, registry: ScenarioRegistry, engine_config: Dict[str, Any]
 ) -> None:
-    """One engine worker process: recv (job, scenario, params), send results.
+    """One engine worker process: recv (job, scenario, params, trace), reply.
 
     Builds its own :class:`SimulationEngine` from ``engine_config`` — every
     worker shares the on-disk cache root but owns its memo table — and
     serves tasks until the sentinel ``None`` (or a closed pipe) arrives.
-    Replies are ``(job_id, ok, payload-or-error-text)``; a scenario
+    Replies are ``(job_id, ok, payload-or-error-text, extras)``; a scenario
     exception is a reply, never a process death.
+
+    ``extras`` carries the job's observability freight back to the parent:
+    ``spans`` (the trace's recorded spans — ``time.monotonic()`` is
+    system-wide on Linux, so they are directly comparable with the
+    parent's) and ``metrics`` (the registry increments this job produced,
+    as a snapshot/delta so counters inherited across the fork never double
+    count).
     """
+    # Spans inherited across the fork belong to the parent; drop them so a
+    # respawned worker never re-ships another job's timeline.
+    obs.trace_store().clear()
     engine = SimulationEngine(**engine_config)
     while True:
         try:
@@ -206,22 +232,36 @@ def _worker_process_main(
             break
         if message is None:
             break
-        job_id, scenario_name, params = message
+        job_id, scenario_name, params, trace_id = message
+        baseline = obs.registry().snapshot() if obs.enabled() else None
+        token = obs.set_current_trace(trace_id) if trace_id else None
         try:
             scenario = registry.get(scenario_name)
             result = scenario.run(engine, params)
         except ScenarioError as error:
-            reply = (job_id, False, str(error))
+            ok, payload = False, str(error)
         except Exception:
-            reply = (job_id, False, traceback.format_exc(limit=20))
+            ok, payload = False, traceback.format_exc(limit=20)
         else:
-            reply = (job_id, True, result)
+            ok, payload = True, result
+        finally:
+            if token is not None:
+                obs.reset_current_trace(token)
+        extras: Dict[str, Any] = {}
+        if baseline is not None:
+            extras["metrics"] = obs.registry().deltas_since(baseline)
+        if trace_id:
+            extras["spans"] = [
+                span.to_dict() for span in obs.trace_store().drain(trace_id)
+            ]
         try:
-            connection.send(reply)
+            connection.send((job_id, ok, payload, extras))
         except Exception:
             # The payload would not pickle (a scenario returning live
             # objects): degrade to a failed job, not a dead worker.
-            connection.send((job_id, False, traceback.format_exc(limit=20)))
+            connection.send(
+                (job_id, False, traceback.format_exc(limit=20), extras)
+            )
 
 
 class _WorkerDied(RuntimeError):
@@ -394,11 +434,20 @@ class ProcessWorkerPool:
             except OSError:
                 pass
         slot.restarts += 1
+        _WORKER_RESTARTS.inc(worker=str(slot.index))
+        _log.warning(
+            "worker_respawned",
+            worker=slot.index,
+            restarts=slot.restarts,
+            exit_code=getattr(slot.process, "exitcode", None),
+        )
         self._spawn(slot)
 
     def _execute(self, slot: _WorkerSlot, job: Job) -> None:
         try:
-            slot.connection.send((job.id, job.scenario, dict(job.params)))
+            slot.connection.send(
+                (job.id, job.scenario, dict(job.params), job.trace_id)
+            )
             reply = self._await_reply(slot)
         except (_WorkerDied, BrokenPipeError, EOFError, OSError):
             self._handle_death(slot, job)
@@ -408,7 +457,8 @@ class ProcessWorkerPool:
             with slot.lock:
                 slot.current_job = None
             return
-        _, ok, payload = reply
+        _, ok, payload, extras = reply
+        self._absorb_extras(extras)
         if ok:
             settled = self.sink.mark_done(job.id, payload)
         else:
@@ -420,6 +470,23 @@ class ProcessWorkerPool:
             elif settled.state == FAILED:
                 self._failed += 1
                 slot.failed += 1
+
+    def _absorb_extras(self, extras: Optional[Dict[str, Any]]) -> None:
+        """Fold a worker reply's observability freight into this process.
+
+        Spans recorded inside the worker land in the parent's trace store
+        (same trace ids, comparable monotonic clocks) and metric deltas are
+        merged into the parent's registry — so ``/metrics`` and
+        ``/jobs/<id>/trace`` account for work done in forked children.
+        """
+        if not extras:
+            return
+        spans = extras.get("spans") or ()
+        if spans:
+            obs.trace_store().extend(Span.from_dict(record) for record in spans)
+        deltas = extras.get("metrics") or ()
+        if deltas:
+            obs.registry().merge_deltas(deltas)
 
     def _await_reply(self, slot: _WorkerSlot):
         """Poll the worker's pipe; ``None`` on shutdown, raises on death."""
@@ -440,6 +507,13 @@ class ProcessWorkerPool:
             # Reap the corpse so its exit code is readable for the error text.
             slot.process.join(timeout=1.0)
         exit_code = getattr(slot.process, "exitcode", None)
+        _log.warning(
+            "worker_died_mid_job",
+            worker=slot.index,
+            job_id=job.id,
+            exit_code=exit_code,
+            attempts=job.attempts,
+        )
         self._respawn(slot)
         if job.attempts < self.max_attempts:
             with self._lock:

@@ -1,0 +1,383 @@
+"""Service-level observability tests: timelines, counter exactness, warnings.
+
+What the observability layer promises at the service boundary:
+
+* **timeline tiling** — ``GET /jobs/<id>/trace`` assembles admission /
+  queue / run phases from the job's own monotonic stamps, so their
+  durations sum to the timeline total (within 1 ms) in *both* worker
+  modes, and engine spans recorded inside a forked worker ship back and
+  nest under ``run``;
+* **counter exactness** — after the 64-way concurrent burst, ``/metrics``
+  agrees exactly with ``/stats``: every submission is accounted one tier,
+  terminal outcomes match the queue's own history, and (in process mode)
+  child-side engine counters merged across the pipe;
+* **duration accounting** — job durations come from monotonic stamps, so
+  wall-clock adjustment can neither produce negative durations nor a
+  negative ``Retry-After``;
+* **surfaced failures** — journal write failures and corrupt journal
+  records, previously silent, increment counters and emit structured warn
+  events carrying the path.
+"""
+
+import io
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.engine import SimulationEngine
+from repro.service import (
+    Job,
+    JobQueue,
+    Parameter,
+    Scenario,
+    ScenarioRegistry,
+    ServiceClient,
+    SimulationService,
+    create_server,
+)
+
+BURST = 64
+DISTINCT_VALUES = list(range(8))
+
+
+@pytest.fixture(autouse=True)
+def obs_reset():
+    """Each test starts from a zeroed registry; servers re-enable it."""
+    obs.reset(enabled=False)
+    yield
+    obs.reset(enabled=False)
+    obs.configure_logging("warning")
+
+
+def _registry():
+    """Two scenarios: pure arithmetic, and one that exercises the engine."""
+    registry = ScenarioRegistry()
+
+    def _compute(engine, params):
+        value = params["value"]
+        time.sleep(params["delay"])
+        return {"value": value, "squared": value * value}
+
+    def _simulate(engine, params):
+        result = engine.run_network(params["network"])
+        return {"network": params["network"], "layers": len(result.layers)}
+
+    registry.register(
+        Scenario(
+            "compute", "deterministic arithmetic", _compute,
+            (
+                Parameter("value", "int"),
+                Parameter("delay", "float", default=0.02),
+            ),
+        )
+    )
+    registry.register(
+        Scenario(
+            "simulate", "one engine network run", _simulate,
+            (Parameter("network", "str", default="alexnet"),),
+        )
+    )
+    return registry
+
+
+def _server(mode, tmp_path, num_workers=2):
+    engine = SimulationEngine(cache_dir=tmp_path / f"cache-{mode}")
+    return create_server(
+        port=0,
+        engine=engine,
+        registry=_registry(),
+        num_workers=num_workers,
+        mode=mode,
+    )
+
+
+def _metric(parsed, family, sample=None, **labels):
+    """One sample value from a parsed exposition (0.0 when absent)."""
+    sample = sample or family
+    for name, sample_labels, value in parsed[family]["samples"]:
+        if name == sample and sample_labels == labels:
+            return value
+    return 0.0
+
+
+def _metric_sum(parsed, family):
+    """Sum of every plain sample of ``family`` (counters across labels)."""
+    return sum(
+        value
+        for name, _, value in parsed[family]["samples"]
+        if name == family
+    )
+
+
+class TestTraceTimeline:
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_phases_tile_and_engine_spans_nest_under_run(self, mode, tmp_path):
+        server = _server(mode, tmp_path)
+        server.start()
+        try:
+            client = ServiceClient(server.url)
+            job_id = client.submit("simulate", {"network": "alexnet"})
+            assert client.wait(job_id, timeout=120)["state"] == "done"
+            timeline = client.trace(job_id)
+        finally:
+            server.stop()
+
+        assert timeline["complete"] is True
+        assert timeline["trace_id"]
+        names = [span["name"] for span in timeline["spans"]]
+        assert names == ["admission", "queue", "run"]
+
+        # The acceptance bar: phase durations sum to the timeline total
+        # within one millisecond, in both modes.
+        total = sum(span["duration_s"] for span in timeline["spans"])
+        assert total == pytest.approx(timeline["duration_s"], abs=1e-3)
+
+        run = timeline["spans"][-1]
+        assert run["duration_s"] == pytest.approx(
+            timeline["job_duration_s"], abs=1e-3
+        )
+        children = {child["name"] for child in run.get("children", [])}
+        # In process mode this span was recorded in a forked worker and
+        # shipped back over the pipe.
+        assert "engine.run_network" in children
+        for child in run["children"]:
+            assert child["start_s"] >= run["start_s"] - 1e-6
+            assert child["end_s"] <= run["end_s"] + 1e-6
+
+    def test_fast_path_job_timeline_is_admission_only(self, tmp_path):
+        server = _server("thread", tmp_path)
+        server.start()
+        try:
+            client = ServiceClient(server.url)
+            first = client.submit("compute", {"value": 3})
+            client.wait(first, timeout=60)
+            second = client.submit("compute", {"value": 3})
+            record = client.job(second)
+            assert record["state"] == "done"  # born done, never queued
+            timeline = client.trace(second)
+        finally:
+            server.stop()
+
+        names = [span["name"] for span in timeline["spans"]]
+        assert "run" not in names
+        assert names[0] == "admission"
+        assert timeline["spans"][0]["attrs"]["tier"] == "fast_path"
+        assert timeline["duration_s"] is not None
+
+    def test_trace_of_unknown_job_is_404(self, tmp_path):
+        from repro.service import ServiceError
+
+        server = _server("thread", tmp_path)
+        server.start()
+        try:
+            client = ServiceClient(server.url)
+            with pytest.raises(ServiceError) as excinfo:
+                client.trace("no-such-job")
+            assert excinfo.value.status == 404
+        finally:
+            server.stop()
+
+
+class TestBurstCounterExactness:
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_metrics_agree_with_stats_after_burst(self, mode, tmp_path):
+        import random
+
+        values = [DISTINCT_VALUES[i % len(DISTINCT_VALUES)] for i in range(BURST)]
+        random.Random(0).shuffle(values)
+
+        server = _server(mode, tmp_path)
+        server.start()
+        try:
+            client = ServiceClient(server.url)
+
+            def submit_and_wait(value):
+                job_id = client.submit("compute", {"value": value})
+                assert client.wait(job_id, timeout=60)["state"] == "done"
+
+            with ThreadPoolExecutor(max_workers=16) as executor:
+                list(executor.map(submit_and_wait, values))
+            stats = client.stats()
+            parsed = obs.parse_prometheus_text(client.metrics_text())
+        finally:
+            server.stop()
+
+        # Every submission admitted through exactly one tier.
+        assert _metric_sum(parsed, "repro_submissions_total") == BURST
+        enqueued = _metric(
+            parsed, "repro_submissions_total", tier="enqueued"
+        )
+        assert _metric(
+            parsed, "repro_submissions_total", tier="coalesced"
+        ) == stats["service"]["coalesced"]
+        assert _metric(
+            parsed, "repro_submissions_total", tier="fast_path"
+        ) == stats["service"]["fast_path_hits"]
+        assert _metric(
+            parsed, "repro_fast_path_hits_total"
+        ) == stats["service"]["fast_path_hits"]
+        assert _metric(
+            parsed, "repro_coalesced_total"
+        ) == stats["service"]["coalesced"]
+
+        # Terminal outcomes match the queue's own accounting exactly —
+        # across threads in thread mode, across the pipe in process mode.
+        assert _metric(
+            parsed, "repro_jobs_total", outcome="done"
+        ) == stats["queue"]["jobs"]["done"] == BURST
+
+        # Only genuinely enqueued jobs were claimed, each exactly once.
+        assert _metric(
+            parsed,
+            "repro_queue_wait_seconds",
+            sample="repro_queue_wait_seconds_count",
+        ) == enqueued
+        assert enqueued == stats["workers"]["jobs_completed"]
+        assert _metric(parsed, "repro_backpressure_rejections_total") == 0.0
+
+    def test_process_mode_merges_child_engine_counters(self, tmp_path):
+        server = _server("process", tmp_path, num_workers=1)
+        server.start()
+        try:
+            client = ServiceClient(server.url)
+            job_id = client.submit("simulate", {"network": "alexnet"})
+            assert client.wait(job_id, timeout=120)["state"] == "done"
+            parsed = obs.parse_prometheus_text(client.metrics_text())
+        finally:
+            server.stop()
+
+        # The parent process never ran the engine: these counts can only
+        # have arrived as deltas shipped back from the forked worker.
+        assert _metric(
+            parsed, "repro_engine_runs_total", method="run_network"
+        ) >= 1.0
+        assert _metric_sum(parsed, "repro_engine_cache_requests_total") >= 1.0
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_valid_and_covers_declared_families(self, tmp_path):
+        server = _server("thread", tmp_path)
+        server.start()
+        try:
+            client = ServiceClient(server.url)
+            client.stats()  # at least one counted request
+            text = client.metrics_text()
+        finally:
+            server.stop()
+
+        parsed = obs.parse_prometheus_text(text)  # raises if malformed
+        # Families declared at import are advertised even before any event.
+        for family in (
+            "repro_jobs_total",
+            "repro_job_duration_seconds",
+            "repro_queue_wait_seconds",
+            "repro_submissions_total",
+            "repro_worker_restarts_total",
+            "repro_cache_write_failures_total",
+            "repro_queue_depth",
+            "repro_busy_workers",
+            "repro_http_requests_total",
+        ):
+            assert family in parsed, f"{family} missing from /metrics"
+        assert parsed["repro_jobs_total"]["type"] == "counter"
+        assert parsed["repro_job_duration_seconds"]["type"] == "histogram"
+        assert parsed["repro_queue_depth"]["type"] == "gauge"
+        assert (
+            _metric(
+                parsed,
+                "repro_http_requests_total",
+                method="GET",
+                endpoint="stats",
+                status="200",
+            )
+            >= 1.0
+        )
+
+
+class TestDurationAccounting:
+    def test_monotonic_stamps_win_over_skewed_wall_clock(self):
+        job = Job(
+            id="j1", scenario="s", params={},
+            submitted_at=1000.0, started_at=1000.0, finished_at=990.0,
+            submitted_mono=5.0, started_mono=5.0, finished_mono=5.25,
+        )
+        assert job.duration_s == pytest.approx(0.25)
+
+    def test_wall_clock_fallback_is_clamped_nonnegative(self):
+        job = Job(
+            id="j2", scenario="s", params={},
+            started_at=1000.0, finished_at=990.0, started_mono=None,
+        )
+        assert job.duration_s == 0.0
+
+    def test_never_ran_has_no_duration(self):
+        assert Job(id="j3", scenario="s", params={}).duration_s is None
+
+    def test_retry_after_stays_positive_under_clock_adjustment(self, tmp_path):
+        service = SimulationService(
+            engine=SimulationEngine(cache_dir=tmp_path / "cache"),
+            registry=_registry(),
+            num_workers=1,
+        )
+        skewed = Job(
+            id="skewed", scenario="compute", params={}, state="done",
+            started_at=1000.0, finished_at=400.0, started_mono=None,
+        )
+        with service.queue._lock:
+            service.queue._jobs[skewed.id] = skewed
+        assert service.retry_after() >= 1
+
+    def test_job_record_round_trips_monotonic_fields(self):
+        job = Job(
+            id="j4", scenario="s", params={}, trace_id="abc",
+            submitted_mono=1.0, started_mono=2.0, finished_mono=3.5,
+        )
+        restored = Job.from_record(json.loads(json.dumps(job.to_record())))
+        assert restored.trace_id == "abc"
+        assert restored.duration_s == pytest.approx(1.5)
+
+
+class TestSwallowedErrorsSurface:
+    def test_journal_write_failure_counts_and_warns(self, tmp_path):
+        obs.reset(enabled=True)
+        stream = io.StringIO()
+        obs.configure_logging("warning", stream=stream)
+
+        queue = JobQueue(journal_dir=tmp_path / "journal")
+        queue.journal_dir = tmp_path / "journal-vanished"  # writes now fail
+        job = queue.submit("compute", {"value": 1})
+
+        assert queue.journal_errors == 1
+        failures = obs.registry().get("repro_journal_write_failures_total")
+        assert failures.value() == 1.0
+        event = json.loads(stream.getvalue().strip().splitlines()[0])
+        assert event["event"] == "journal_write_failed"
+        assert event["job_id"] == job.id
+        assert "journal-vanished" in event["path"]
+
+    def test_corrupt_journal_records_count_and_warn(self, tmp_path):
+        journal = tmp_path / "journal"
+        seeded = JobQueue(journal_dir=journal)
+        kept = seeded.submit("compute", {"value": 2})
+        (journal / "torn.json").write_text("{not json", encoding="utf-8")
+        (journal / "wrong-shape.json").write_text("[1, 2]", encoding="utf-8")
+
+        obs.reset(enabled=True)
+        stream = io.StringIO()
+        obs.configure_logging("warning", stream=stream)
+        restored = JobQueue.load(journal)
+
+        assert {job.id for job in restored.jobs()} == {kept.id}
+        corrupt = obs.registry().get("repro_journal_corrupt_records_total")
+        assert corrupt.value() == 2.0
+        events = [
+            json.loads(line) for line in stream.getvalue().strip().splitlines()
+        ]
+        assert len(events) == 2
+        assert {event["event"] for event in events} == {"journal_record_skipped"}
+        paths = {event["path"] for event in events}
+        assert any("torn.json" in path for path in paths)
+        assert any("wrong-shape.json" in path for path in paths)
