@@ -8,11 +8,13 @@ Three structural checks, all CI-enforced:
 * the required documents must exist — removing or renaming one is a doc
   break even when no link points at it yet;
 * every public module, class, function and method in the docstring-gated
-  packages (``src/repro/arch``, ``src/repro/engine``, ``src/repro/grid``,
-  ``src/repro/obs``, ``src/repro/service``, ``src/repro/workloads``) must
-  carry a docstring.
-  Private names (leading underscore), dunders and ``@property`` accessors
-  are exempt.
+  packages must carry a docstring.
+
+The docstring gate is the lint engine's ``docstring-coverage`` rule
+(:mod:`repro.devtools.lint`) — this script is a thin shim over it so the
+docs job and ``repro lint`` can never disagree about what "documented"
+means.  The gated package list lives in
+:class:`repro.devtools.lint.config.LintConfig`.
 
 Exit status: 0 when every check passes, 1 otherwise (failures are listed
 on stderr).
@@ -20,12 +22,14 @@ on stderr).
 
 from __future__ import annotations
 
-import ast
 import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.devtools.lint import get_rules, lint_paths  # noqa: E402
 
 # Inline links: [text](target). Reference-style links are not used here.
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -39,26 +43,19 @@ REQUIRED_DOCUMENTS = (
     "docs/observability.md",
     "docs/paper_mapping.md",
     "docs/service.md",
-)
-
-# Packages whose public API must be fully docstring-covered.
-DOCSTRING_GATED_DIRS = (
-    "src/repro/arch",
-    "src/repro/engine",
-    "src/repro/grid",
-    "src/repro/obs",
-    "src/repro/service",
-    "src/repro/workloads",
+    "docs/static_analysis.md",
 )
 
 
 def documents() -> list[Path]:
+    """README.md plus every markdown file under docs/, existing ones only."""
     found = [REPO_ROOT / "README.md"]
     found.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
     return [path for path in found if path.exists()]
 
 
 def missing_required() -> list[str]:
+    """Required documents that do not exist on disk."""
     return [
         relative
         for relative in REQUIRED_DOCUMENTS
@@ -67,6 +64,7 @@ def missing_required() -> list[str]:
 
 
 def broken_links(document: Path) -> list[str]:
+    """Relative links in ``document`` that do not resolve to a file."""
     broken = []
     for match in LINK_PATTERN.finditer(document.read_text(encoding="utf-8")):
         target = match.group(1)
@@ -81,61 +79,16 @@ def broken_links(document: Path) -> list[str]:
     return broken
 
 
-def _is_property_accessor(node: ast.AST) -> bool:
-    """Whether a function definition is a @property getter/setter/deleter."""
-    for decorator in getattr(node, "decorator_list", []):
-        if isinstance(decorator, ast.Name) and decorator.id in (
-            "property",
-            "cached_property",
-        ):
-            return True
-        if isinstance(decorator, ast.Attribute) and decorator.attr in (
-            "setter",
-            "deleter",
-            "getter",
-            "cached_property",
-        ):
-            return True
-    return False
-
-
-def _undocumented(node: ast.AST, qualname: str) -> list[str]:
-    """Public classes/functions under ``node`` that lack a docstring."""
-    failures = []
-    for child in ast.iter_child_nodes(node):
-        if not isinstance(
-            child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
-        ):
-            continue
-        if child.name.startswith("_"):  # private and dunder names
-            continue
-        name = f"{qualname}{child.name}"
-        if isinstance(child, ast.ClassDef):
-            if not ast.get_docstring(child):
-                failures.append(f"class {name}")
-            failures.extend(_undocumented(child, f"{name}."))
-        elif not _is_property_accessor(child) and not ast.get_docstring(child):
-            failures.append(f"function {name}")
-    return failures
-
-
 def missing_docstrings() -> list[str]:
-    """Docstring-coverage violations across the gated packages."""
-    failures = []
-    for relative in DOCSTRING_GATED_DIRS:
-        for path in sorted((REPO_ROOT / relative).rglob("*.py")):
-            tree = ast.parse(path.read_text(encoding="utf-8"))
-            location = path.relative_to(REPO_ROOT)
-            if not ast.get_docstring(tree):
-                failures.append(f"{location}: module docstring missing")
-            failures.extend(
-                f"{location}: {entry} lacks a docstring"
-                for entry in _undocumented(tree, "")
-            )
-    return failures
+    """Docstring-coverage violations, via the lint engine's rule."""
+    report = lint_paths(
+        [str(REPO_ROOT / "src")], rules=get_rules(["docstring-coverage"])
+    )
+    return [finding.format() for finding in report.findings]
 
 
 def main() -> int:
+    """Run all three checks; list failures on stderr."""
     docs = documents()
     if not docs:
         print("no documentation files found", file=sys.stderr)
@@ -160,7 +113,7 @@ def main() -> int:
         return 1
     print(
         f"checked {len(docs)} documents (links + required set) and "
-        f"{len(DOCSTRING_GATED_DIRS)} packages (docstring coverage): all good"
+        "docstring coverage via repro lint: all good"
     )
     return 0
 

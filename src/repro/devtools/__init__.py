@@ -1,0 +1,50 @@
+"""Developer tooling that machine-checks the repo's own invariants.
+
+Two halves, both stdlib-only (a constraint the tooling itself enforces):
+
+* :mod:`repro.devtools.lint` — an AST rule engine with the project's rule
+  catalogue: stdlib-only imports in the service/observability tiers,
+  monotonic-clock duration math, no disk I/O while holding a lock, no
+  import-time registry freezes, no silently swallowed exceptions, no
+  mutable default arguments, and docstring coverage over the public API.
+  Run it as ``repro lint`` or ``python -m repro.devtools.lint``.
+* :mod:`repro.devtools.locks` — a dynamic concurrency checker: tracked
+  drop-in lock wrappers that record per-thread acquisition order, build
+  the global lock-order graph, and report cycles (potential deadlocks)
+  and I/O performed while a lock is held.  The test suite's
+  ``--track-locks`` flag patches the service/engine/obs lock sites with
+  it, so the 64-way burst tests double as a deadlock detector.
+
+``docs/static_analysis.md`` documents every rule, its motivating
+incident, and the suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint import (
+    Finding,
+    LintConfig,
+    LintReport,
+    Rule,
+    default_config,
+    lint_paths,
+)
+from repro.devtools.locks import (
+    LockTracker,
+    TrackedLock,
+    TrackedRLock,
+    track_locks,
+)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "LockTracker",
+    "Rule",
+    "TrackedLock",
+    "TrackedRLock",
+    "default_config",
+    "lint_paths",
+    "track_locks",
+]

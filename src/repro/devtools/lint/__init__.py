@@ -1,0 +1,49 @@
+"""The AST lint engine and the project's rule catalogue.
+
+Public surface:
+
+* :func:`lint_paths` / :func:`lint_file` — run rules over files and get a
+  :class:`LintReport` with full suppression accounting;
+* :data:`~repro.devtools.lint.rules.ALL_RULES` / :func:`~repro.devtools.lint.rules.get_rules`
+  — the catalogue;
+* :class:`LintConfig` / :func:`default_config` — which invariant applies
+  where;
+* :func:`~repro.devtools.lint.cli.lint_main` — the ``repro lint`` /
+  ``python -m repro.devtools.lint`` entry point.
+
+See ``docs/static_analysis.md`` for the rule catalogue with rationale,
+the suppression syntax, and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.config import LintConfig, default_config, path_in_packages
+from repro.devtools.lint.engine import (
+    SYNTAX_ERROR_RULE,
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    lint_file,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.lint.rules import ALL_RULES, get_rules
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "SYNTAX_ERROR_RULE",
+    "default_config",
+    "get_rules",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "path_in_packages",
+    "write_baseline",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.devtools.lint`` — the CI gate entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.lint.cli import lint_main
+
+if __name__ == "__main__":
+    sys.exit(lint_main())

@@ -1,0 +1,127 @@
+"""Command-line surface for the lint engine: ``repro lint`` and
+``python -m repro.devtools.lint``.
+
+Exit status: 0 when every selected rule is clean, 1 when findings
+remain, 2 on usage errors — so CI can gate on the exit code while the
+``--format json`` document carries the full per-rule accounting
+(including how many findings a baseline absorbed, which the invariant
+rules require to stay at zero).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.devtools.lint.engine import LintReport, lint_paths, write_baseline
+from repro.devtools.lint.rules import ALL_RULES, get_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Check the codebase's machine-enforced invariants "
+            "(see docs/static_analysis.md for the rule catalogue)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE-ID",
+        help="run only this rule (repeatable; default: the full catalogue)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of known findings to subtract (counted, never silent)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings to FILE as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the rule catalogue and exit"
+    )
+    return parser
+
+
+def list_rules() -> str:
+    """The catalogue as one ``id: description`` line per rule."""
+    width = max(len(rule.id) for rule in ALL_RULES)
+    return "\n".join(
+        f"{rule.id:<{width}}  {rule.description}" for rule in ALL_RULES
+    )
+
+
+def render_text(report: LintReport) -> str:
+    """The report as human-oriented text (one finding per line + summary)."""
+    lines = [finding.format() for finding in report.findings]
+    counts = report.counts_by_rule()
+    summary = (
+        f"checked {report.files_checked} files, "
+        f"{len(report.rules_run)} rules: "
+        + (
+            "all clean"
+            if report.clean
+            else ", ".join(
+                f"{count} x {rule}" for rule, count in sorted(counts.items())
+            )
+        )
+    )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{len(report.suppressed)} inline-suppressed")
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        rules = get_rules(args.rule) if args.rule else None
+    except KeyError as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    report = lint_paths(args.paths, rules=rules, baseline=args.baseline)
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, report)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_text(report))
+    return 0 if report.clean else 1

@@ -1,0 +1,296 @@
+"""The AST lint engine: findings, rules, suppressions, baselines.
+
+The engine is deliberately small: a :class:`Rule` is an object with an
+``id``, a ``description`` and a ``check(context)`` method that yields
+:class:`Finding` records for one parsed file.  :func:`lint_paths` walks the
+requested files, parses each one once, hands the shared
+:class:`FileContext` to every selected rule, and post-filters the findings
+through two suppression tiers:
+
+* **inline suppressions** — a ``# lint-ok: <rule-id>`` comment on the
+  finding's line (or on a pure-comment line directly above it) waives that
+  rule for that line.  Use sparingly, with a reason in the comment;
+* **baselines** — a JSON file of known findings (``--write-baseline``)
+  that :func:`lint_paths` subtracts, for adopting a rule before its debt
+  is paid down.  Baseline entries match on ``(rule, path, line)``.
+
+Both tiers are *accounted for*, never silent: the returned
+:class:`LintReport` carries the suppressed and baselined findings
+alongside the live ones, and the JSON output format reports their counts
+per rule — the CI gate requires the baseline count to stay at zero for
+the invariant rules.
+
+Files that fail to parse surface as findings under the pseudo-rule
+``syntax-error`` rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.devtools.lint.config import LintConfig, default_config
+
+#: Pseudo-rule id used for unparseable files; never suppressible.
+SYNTAX_ERROR_RULE = "syntax-error"
+
+_SUPPRESSION_PATTERN = re.compile(r"#\s*lint-ok:\s*([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The finding as one ``path:line:col: [rule] message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """The finding as a JSON-serializable record."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to check one parsed file."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            path=self.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` and ``description`` and implement
+    :meth:`check`.  Rules must be stateless across files — one instance
+    is reused for the whole run.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run, with full suppression accounting."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run produced no live findings."""
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Live finding count per rule id (only rules with findings)."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        """The report as a JSON-serializable document (the CI artifact)."""
+        baseline_counts: Dict[str, int] = {}
+        for finding in self.baselined:
+            baseline_counts[finding.rule] = baseline_counts.get(finding.rule, 0) + 1
+        return {
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "counts_by_rule": self.counts_by_rule(),
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "baselined_by_rule": baseline_counts,
+            "clean": self.clean,
+        }
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files kept, directories walked)."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    # De-duplicate while preserving order (overlapping path arguments).
+    seen = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def relative_display_path(path: Path) -> str:
+    """``path`` relative to the working directory when possible, POSIX-style."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def suppressed_rules_by_line(source: str) -> Dict[int, frozenset]:
+    """Line number -> rule ids waived by an inline ``# lint-ok:`` marker.
+
+    A marker waives its own line; a marker on a *pure comment* line also
+    waives the line directly below it, so long call chains can carry the
+    suppression above them.
+    """
+    markers: Dict[int, frozenset] = {}
+    lines = source.splitlines()
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESSION_PATTERN.search(line)
+        if not match:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        markers[number] = markers.get(number, frozenset()) | rules
+        if line.lstrip().startswith("#"):
+            markers[number + 1] = markers.get(number + 1, frozenset()) | rules
+    return markers
+
+
+def _is_suppressed(finding: Finding, markers: Dict[int, frozenset]) -> bool:
+    if finding.rule == SYNTAX_ERROR_RULE:
+        return False
+    waived = markers.get(finding.line, frozenset())
+    return finding.rule in waived or "all" in waived
+
+
+def load_baseline(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """The baseline file's finding records (``[]`` for a missing file)."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return []
+    document = json.loads(baseline_path.read_text(encoding="utf-8"))
+    records = document.get("findings", []) if isinstance(document, dict) else document
+    if not isinstance(records, list):
+        raise ValueError(f"malformed baseline {baseline_path}: expected a list")
+    return records
+
+
+def write_baseline(path: Union[str, Path], report: LintReport) -> None:
+    """Persist ``report``'s live findings as a baseline file."""
+    document = {
+        "comment": "known lint findings accepted as baseline; see docs/static_analysis.md",
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def lint_file(
+    path: Union[str, Path],
+    rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Run ``rules`` over one file; returns ``(live, inline-suppressed)``."""
+    config = config if config is not None else default_config()
+    file_path = Path(path)
+    rel_path = relative_display_path(file_path)
+    source = file_path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(file_path))
+    except SyntaxError as error:
+        finding = Finding(
+            path=rel_path,
+            line=error.lineno or 1,
+            col=(error.offset or 1),
+            rule=SYNTAX_ERROR_RULE,
+            message=f"file does not parse: {error.msg}",
+        )
+        return [finding], []
+    context = FileContext(
+        path=file_path, rel_path=rel_path, source=source, tree=tree, config=config
+    )
+    markers = suppressed_rules_by_line(source)
+    live: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(context):
+            if _is_suppressed(finding, markers):
+                suppressed.append(finding)
+            else:
+                live.append(finding)
+    return live, suppressed
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Union[str, Path]] = None,
+) -> LintReport:
+    """Run the rule catalogue over every Python file under ``paths``.
+
+    ``rules`` defaults to the full project catalogue
+    (:data:`repro.devtools.lint.rules.ALL_RULES`); ``baseline`` optionally
+    names a JSON baseline whose entries are subtracted into
+    ``report.baselined``.
+    """
+    from repro.devtools.lint.rules import ALL_RULES
+
+    config = config if config is not None else default_config()
+    selected = list(rules) if rules is not None else list(ALL_RULES)
+    baseline_keys = set()
+    if baseline is not None:
+        baseline_keys = {
+            (record.get("rule"), record.get("path"), record.get("line"))
+            for record in load_baseline(baseline)
+        }
+    report = LintReport(rules_run=tuple(rule.id for rule in selected))
+    for path in iter_python_files(paths):
+        live, suppressed = lint_file(path, selected, config)
+        report.suppressed.extend(suppressed)
+        for finding in live:
+            if (finding.rule, finding.path, finding.line) in baseline_keys:
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+        report.files_checked += 1
+    report.findings.sort()
+    return report

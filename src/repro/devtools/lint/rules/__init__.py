@@ -1,0 +1,60 @@
+"""The project rule catalogue.
+
+Every rule lives in its own module with the incident that motivated it
+documented in the module docstring; this package assembles them into
+:data:`ALL_RULES` (one shared instance each — rules are stateless) and
+resolves user-supplied ``--rule`` selections via :func:`get_rules`.
+Adding a rule is: write the module, add the instance here, document it
+in ``docs/static_analysis.md``, and give it true-positive plus
+true-negative fixture tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.devtools.lint.engine import Rule
+from repro.devtools.lint.rules.defaults import NoMutableDefaultRule
+from repro.devtools.lint.rules.docstrings import DocstringCoverageRule
+from repro.devtools.lint.rules.exceptions import NoSilentExceptRule
+from repro.devtools.lint.rules.imports import StdlibOnlyImportsRule
+from repro.devtools.lint.rules.locking import NoLockHeldIoRule
+from repro.devtools.lint.rules.registries import NoImportTimeRegistryFreezeRule
+from repro.devtools.lint.rules.timing import NoWallClockArithmeticRule
+
+#: Every rule in the catalogue, in documentation order.
+ALL_RULES: Tuple[Rule, ...] = (
+    StdlibOnlyImportsRule(),
+    NoWallClockArithmeticRule(),
+    NoLockHeldIoRule(),
+    NoImportTimeRegistryFreezeRule(),
+    NoSilentExceptRule(),
+    NoMutableDefaultRule(),
+    DocstringCoverageRule(),
+)
+
+_RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+
+def get_rules(ids: Sequence[str]) -> List[Rule]:
+    """The rule instances for ``ids``; unknown ids raise ``KeyError``."""
+    unknown = [rule_id for rule_id in ids if rule_id not in _RULES_BY_ID]
+    if unknown:
+        known = ", ".join(sorted(_RULES_BY_ID))
+        raise KeyError(
+            f"unknown rule(s): {', '.join(unknown)}; available rules: {known}"
+        )
+    return [_RULES_BY_ID[rule_id] for rule_id in ids]
+
+
+__all__ = [
+    "ALL_RULES",
+    "DocstringCoverageRule",
+    "NoImportTimeRegistryFreezeRule",
+    "NoLockHeldIoRule",
+    "NoMutableDefaultRule",
+    "NoSilentExceptRule",
+    "NoWallClockArithmeticRule",
+    "StdlibOnlyImportsRule",
+    "get_rules",
+]

@@ -1,0 +1,61 @@
+"""Rule: no mutable default arguments.
+
+A ``def f(x, history=[])`` default is evaluated once and shared by every
+call — the classic aliasing bug, and in this codebase a close cousin of
+the import-time registry freeze (a catalogue *snapshot* stored in a
+default).  The sanctioned pattern is ``history=None`` plus
+``history = [] if history is None else history`` in the body, which the
+service and workload layers already follow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _mutable_description(node: ast.AST) -> Optional[str]:
+    """Why ``node`` is a mutable default, or ``None`` when it is fine."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return f"{type(node).__name__.lower()} literal"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_CONSTRUCTORS:
+            return f"{func.id}() call"
+    return None
+
+
+class NoMutableDefaultRule(Rule):
+    """Flag list/dict/set (literals or constructors) default arguments."""
+
+    id = "no-mutable-default"
+    description = (
+        "default arguments are evaluated once and shared; use None and "
+        "materialise the container in the body"
+    )
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        """Yield a finding for every mutable default argument value."""
+        for node in ast.walk(context.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                description = _mutable_description(default)
+                if description is not None:
+                    name = getattr(node, "name", "<lambda>")
+                    yield context.finding(
+                        self.id,
+                        default,
+                        f"mutable default ({description}) in {name}(); "
+                        "use None and build the container in the body",
+                    )

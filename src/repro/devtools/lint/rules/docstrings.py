@@ -1,0 +1,82 @@
+"""Rule: docstring coverage over the gated packages' public API.
+
+Absorbed from ``scripts/check_docs.py`` (the PR 4 AST gate, now a thin
+shim over this rule): every public module, class, function and method in
+the docstring-gated packages must carry a docstring.  Private names
+(leading underscore), dunders, and ``@property`` accessors are exempt —
+the same contract the script enforced, so CI behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.devtools.lint.config import path_in_packages
+from repro.devtools.lint.engine import FileContext, Finding, Rule
+
+_PROPERTY_DECORATOR_NAMES = {"property", "cached_property"}
+_PROPERTY_ACCESSOR_ATTRS = {"setter", "deleter", "getter", "cached_property"}
+
+
+def _is_property_accessor(node: ast.AST) -> bool:
+    """Whether a function definition is a @property getter/setter/deleter."""
+    for decorator in getattr(node, "decorator_list", []):
+        if isinstance(decorator, ast.Name) and decorator.id in (
+            _PROPERTY_DECORATOR_NAMES
+        ):
+            return True
+        if isinstance(decorator, ast.Attribute) and decorator.attr in (
+            _PROPERTY_ACCESSOR_ATTRS
+        ):
+            return True
+    return False
+
+
+class DocstringCoverageRule(Rule):
+    """Flag public API in the gated packages that lacks a docstring."""
+
+    id = "docstring-coverage"
+    description = (
+        "every public module, class, function and method in the gated "
+        "packages must carry a docstring"
+    )
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        """Yield findings for undocumented public API in gated packages."""
+        if not path_in_packages(
+            context.rel_path, context.config.docstring_packages
+        ):
+            return
+        if not ast.get_docstring(context.tree):
+            yield context.finding(
+                self.id, context.tree, "module docstring missing"
+            )
+        yield from self._undocumented(context, context.tree, "")
+
+    def _undocumented(
+        self, context: FileContext, node: ast.AST, qualname: str
+    ) -> Iterable[Finding]:
+        """Findings for public children of ``node`` lacking docstrings."""
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(
+                child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if child.name.startswith("_"):  # private and dunder names
+                continue
+            name = f"{qualname}{child.name}"
+            if isinstance(child, ast.ClassDef):
+                if not ast.get_docstring(child):
+                    yield context.finding(
+                        self.id, child, f"class {name} lacks a docstring"
+                    )
+                yield from self._undocumented(context, child, f"{name}.")
+            elif not _is_property_accessor(child) and not ast.get_docstring(child):
+                yield context.finding(
+                    self.id, child, f"function {name} lacks a docstring"
+                )
+
+    def undocumented_entries(self, context: FileContext) -> List[str]:
+        """The check as a plain list of messages (the check_docs surface)."""
+        return [finding.message for finding in self.check(context)]

@@ -1,0 +1,91 @@
+"""Rule: no silently swallowed exceptions.
+
+PR 8's contract: every failure surfaces *somewhere* — a re-raise, an
+error payload, an observability counter, or a log line.  Cache write
+failures warn and count; journal corruption counts and skips; scenario
+exceptions become failed-job payloads.  What is banned is the handler
+that catches and leaves no trace at all (``except OSError: pass``).
+
+A handler is considered *accounted for* when its body (at any depth)
+does one of:
+
+* re-raise (``raise``) or return — the failure propagates;
+* bind the exception (``except X as err``) and actually *use* it — the
+  error travels on as data;
+* assign a value — a sentinel/fallback replaces the failed computation;
+* call a logging method, ``print``, or ``warnings.warn`` — it is reported;
+* call a metrics method (``.inc()`` / ``.observe()`` / ``.set()``) or
+  increment a counter attribute (``self.write_failures += 1``);
+* invoke any other statement-level call — a recovery action (sending an
+  error response, redirecting a stream) *is* the failure's trace.
+
+``pass``-only, ``continue``-only and ``break``-only handlers fail the
+rule; the rare deliberate swallow carries an inline
+``# lint-ok: no-silent-except`` with its justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule
+
+_LOG_METHOD_NAMES = {
+    "debug", "info", "warning", "error", "exception", "critical", "log", "warn",
+}
+_METRIC_METHOD_NAMES = {"inc", "dec", "observe", "set"}
+_REPORT_CALL_NAMES = {"print"}
+
+
+def _handler_is_accounted(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler's body leaves any trace of the failure."""
+    bound_name = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Return)):
+            return True
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.NamedExpr)):
+            return True
+        if bound_name and isinstance(node, ast.Name) and node.id == bound_name:
+            if isinstance(node.ctx, ast.Load):
+                return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _REPORT_CALL_NAMES:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in (
+                _LOG_METHOD_NAMES | _METRIC_METHOD_NAMES
+            ):
+                return True
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            # A statement-level call is a recovery action: the handler
+            # responded to the failure (sent a 404, redirected a stream).
+            return True
+    return False
+
+
+class NoSilentExceptRule(Rule):
+    """Flag handlers that swallow a failure without leaving any trace."""
+
+    id = "no-silent-except"
+    description = (
+        "an except handler must raise, return, assign a fallback, log, "
+        "or count the failure — never swallow it without a trace"
+    )
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        """Yield a finding for every unaccounted ``except`` handler."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _handler_is_accounted(node):
+                continue
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "BaseException"
+            )
+            yield context.finding(
+                self.id,
+                node,
+                f"except {caught}: handler swallows the failure without a "
+                "trace (no raise/return/fallback/log/counter)",
+            )

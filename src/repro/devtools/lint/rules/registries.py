@@ -1,0 +1,114 @@
+"""Rule: registry catalogues must be consulted live, never frozen at import.
+
+The PR 5 incident: a service scenario declared
+``choices=tuple(available_networks())`` — evaluated once at import — so
+workloads registered afterwards were rejected as unknown even though the
+registry knew them.  The fix resolved the catalogue at ``validate()``
+time by passing the *callable*.  This rule flags any call to a registry
+catalogue function (``available_networks`` and friends) that is
+evaluated exactly once and cached forever:
+
+* at module level (including class bodies) — import-time evaluation;
+* inside a function/method *default argument* — ``def``-time evaluation;
+* inside a ``choices=`` keyword value — the original bug's exact shape.
+
+Passing the function itself (``choices=available_networks``) stays
+legal: a reference defers evaluation to use time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule
+
+
+def _catalogue_call_name(node: ast.AST, catalogue: frozenset) -> str:
+    """The catalogue function name when ``node`` calls one, else ``""``."""
+    if not isinstance(node, ast.Call):
+        return ""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in catalogue:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in catalogue:
+        return func.attr
+    return ""
+
+
+def _walk_skipping_functions(roots: List[ast.AST]) -> Iterator[ast.AST]:
+    """All descendants of ``roots`` without entering function bodies."""
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class NoImportTimeRegistryFreezeRule(Rule):
+    """Flag catalogue calls frozen at import/def time or in ``choices=``."""
+
+    id = "no-import-time-registry-freeze"
+    description = (
+        "registry catalogues (available_networks, ...) must be resolved "
+        "at validate/use time, never frozen at import, in defaults, or "
+        "in a choices= value"
+    )
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        """Yield findings for registry catalogues frozen at import time."""
+        catalogue = context.config.registry_catalogue_calls
+
+        # Import-time evaluation: anything reachable from the module body
+        # without crossing into a function (class bodies run at import).
+        for node in _walk_skipping_functions(list(context.tree.body)):
+            name = _catalogue_call_name(node, catalogue)
+            if name:
+                yield context.finding(
+                    self.id,
+                    node,
+                    f"{name}() called at import time freezes the catalogue; "
+                    "resolve it inside the function that needs it",
+                )
+        # Default arguments evaluate once when the def executes — check
+        # every function at any nesting depth.
+        for node in ast.walk(context.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                for child in ast.walk(default):
+                    child_name = _catalogue_call_name(child, catalogue)
+                    if child_name:
+                        yield context.finding(
+                            self.id,
+                            child,
+                            f"{child_name}() in a default argument is "
+                            "evaluated once at def time; resolve it in "
+                            "the function body instead",
+                        )
+
+        # ``choices=`` values holding a catalogue *call* — the PR 5 bug.
+        # Passing the callable itself defers resolution and stays legal.
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "choices":
+                    continue
+                for child in ast.walk(keyword.value):
+                    name = _catalogue_call_name(child, catalogue)
+                    if name:
+                        yield context.finding(
+                            self.id,
+                            child,
+                            f"choices= built from {name}() freezes the "
+                            "catalogue at parser-build time; pass the "
+                            "callable and resolve at validate time",
+                        )

@@ -1,0 +1,128 @@
+"""Rule: no duration math on wall-clock readings.
+
+Wall-clock (``time.time()``) differences go negative under NTP
+adjustment; PR 8 converted every duration computation to
+``time.monotonic()`` stamps and reserved wall-clock for display-only
+``*_at`` fields.  This rule flags a wall-clock reading — the call itself,
+or a local name assigned from one — used as an operand of a subtraction
+or a comparison.  Storing the reading (``submitted_at = time.time()``)
+stays legal; doing arithmetic on it does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.devtools.lint.engine import FileContext, Finding, Rule
+
+
+def _is_wall_clock_call(node: ast.AST, config) -> bool:
+    """Whether ``node`` is a configured wall-clock producing call."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr) in config.wall_clock_calls
+    if isinstance(func, ast.Name):
+        # ``from time import time`` style: match on the bare attribute name.
+        return any(attr == func.id for _, attr in config.wall_clock_calls)
+    return False
+
+
+class _ScopeChecker(ast.NodeVisitor):
+    """Checks one function (or the module body) without descending further."""
+
+    def __init__(self, rule: "NoWallClockArithmeticRule", context: FileContext):
+        self.rule = rule
+        self.context = context
+        self.findings: List[Finding] = []
+        self.tainted: Set[str] = set()
+
+    def _is_display_name(self, name: str) -> bool:
+        return name.endswith(tuple(self.context.config.display_name_suffixes))
+
+    def _collect_taint(self, body: Iterable[ast.stmt]) -> None:
+        """Names assigned straight from a wall-clock call in this scope.
+
+        Nested function bodies are separate scopes — their assignments are
+        skipped here and handled by their own checker.
+        """
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Assign) and _is_wall_clock_call(
+                node.value, self.context.config
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and not self._is_display_name(
+                        target.id
+                    ):
+                        self.tainted.add(target.id)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _is_wall_clock_operand(self, node: ast.AST) -> bool:
+        if _is_wall_clock_call(node, self.context.config):
+            return True
+        return isinstance(node, ast.Name) and node.id in self.tainted
+
+    def check(self, body: List[ast.stmt]) -> List[Finding]:
+        self._collect_taint(body)
+        for stmt in body:
+            self.visit(stmt)
+        return self.findings
+
+    # Nested scopes are checked independently — taint never crosses them.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Sub) and (
+            self._is_wall_clock_operand(node.left)
+            or self._is_wall_clock_operand(node.right)
+        ):
+            self.findings.append(
+                self.context.finding(
+                    self.rule.id,
+                    node,
+                    "subtraction on a wall-clock reading; durations must "
+                    "use time.monotonic() (wall-clock is display-only)",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        if any(self._is_wall_clock_operand(operand) for operand in operands):
+            self.findings.append(
+                self.context.finding(
+                    self.rule.id,
+                    node,
+                    "comparison on a wall-clock reading; deadlines must "
+                    "use time.monotonic() (wall-clock is display-only)",
+                )
+            )
+        self.generic_visit(node)
+
+
+class NoWallClockArithmeticRule(Rule):
+    """Flag subtraction/comparison over ``time.time()`` readings."""
+
+    id = "no-wall-clock-arithmetic"
+    description = (
+        "duration and deadline math must use time.monotonic(); "
+        "time.time() readings are display-only (*_at fields)"
+    )
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        """Yield findings for wall-clock readings used in duration math."""
+        scopes: List[List[ast.stmt]] = [list(context.tree.body)]
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(list(node.body))
+        for body in scopes:
+            yield from _ScopeChecker(self, context).check(body)

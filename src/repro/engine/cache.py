@@ -198,8 +198,9 @@ class ResultCache:
             # Touch the entry so LRU eviction sees it as recently used.
             try:
                 os.utime(path)
-            except OSError:
-                pass
+            except OSError as error:
+                # Losing one LRU touch only skews eviction order slightly.
+                _log.debug("cache_touch_failed", key=key, error=str(error))
         return value
 
     def put(self, key: str, value: Any) -> None:
@@ -264,7 +265,10 @@ class ResultCache:
         for entry in self._entries():
             try:
                 entries.append((entry.stat().st_mtime, entry))
-            except OSError:  # concurrently evicted by another writer
+            # Raced with another writer's eviction: the entry is simply
+            # gone, which is the outcome eviction wanted anyway (and
+            # self._lock is held here, so no log call either).
+            except OSError:  # lint-ok: no-silent-except
                 continue
         target = max(1, (self.max_entries or 0) - (self.max_entries or 0) // 10)
         excess = len(entries) - target

@@ -11,15 +11,16 @@ on-disk cache so re-running an experiment with unchanged inputs is instant
 (``REPRO_CACHE_DIR`` sets the same root environment-wide; ``--no-cache``
 overrides both).
 
-Five subcommands are dispatched before experiment parsing: ``repro
+Six subcommands are dispatched before experiment parsing: ``repro
 compare`` runs cross-architecture comparison sweeps over the architecture
 registry (:mod:`repro.experiments.compare`), ``repro workloads`` lists the
 workload registry and its density profiles
 (:mod:`repro.experiments.workloads`), ``repro serve`` boots the HTTP
 service (:mod:`repro.service`) on one warm engine, ``repro submit
 SCENARIO`` sends a scenario to a running service and prints the result
-JSON, and ``repro stats`` prints (or ``--watch``-es) a running service's
-counters or raw ``/metrics`` exposition.
+JSON, ``repro stats`` prints (or ``--watch``-es) a running service's
+counters or raw ``/metrics`` exposition, and ``repro lint`` runs the
+project's static-analysis rule catalogue (:mod:`repro.devtools.lint`).
 """
 
 from __future__ import annotations
@@ -65,6 +66,7 @@ EXPERIMENTS: Dict[str, tuple] = {
 SERVICE_COMMANDS = ("serve", "submit", "stats")
 COMPARE_COMMAND = "compare"
 WORKLOADS_COMMAND = "workloads"
+LINT_COMMAND = "lint"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,7 +77,8 @@ def build_parser() -> argparse.ArgumentParser:
         "architectures against each other; 'repro workloads' lists the "
         "workload zoo and its density profiles; 'repro serve' boots the "
         "HTTP simulation service, 'repro submit SCENARIO' sends it work, "
-        "'repro stats' watches a running service's counters "
+        "'repro stats' watches a running service's counters, and "
+        "'repro lint' checks the codebase invariants "
         "(each accepts --help).",
     )
     parser.add_argument(
@@ -133,9 +136,9 @@ def run_experiments(names: Sequence[str]) -> List[str]:
         module, description = EXPERIMENTS[name]
         banner = f"== {description} =="
         print("\n" + banner)
-        started = time.time()
+        started = time.monotonic()
         module.main()
-        print(f"[{name} completed in {time.time() - started:.1f} s]")
+        print(f"[{name} completed in {time.monotonic() - started:.1f} s]")
         executed.append(name)
     return executed
 
@@ -159,6 +162,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.experiments.workloads import workloads_main
 
         return workloads_main(argv[1:])
+    if argv and argv[0] == LINT_COMMAND:
+        from repro.devtools.lint.cli import lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:

@@ -87,9 +87,10 @@ class LogSink:
                 target = self._target()
                 target.write(line + "\n")
                 target.flush()
-        except Exception:
+        except Exception:  # lint-ok: no-silent-except
             # Logging is diagnostics, never control flow: a closed stream or
-            # an unserialisable field must not take the caller down.
+            # an unserialisable field must not take the caller down — and a
+            # failing log sink has nowhere left to report to.
             pass
 
     def close(self) -> None:

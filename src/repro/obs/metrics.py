@@ -224,7 +224,9 @@ class MetricFamily:
                 synthetic = _Gauge()
                 synthetic.value = float(self._callback())
                 items.append(((), synthetic))
-            except Exception:  # a dead composition root must not kill /metrics
+            # A raising gauge callback (a dead composition root) must not
+            # kill the /metrics endpoint that would report it.
+            except Exception:  # lint-ok: no-silent-except
                 pass
         return items
 

@@ -228,7 +228,10 @@ def _worker_process_main(
     while True:
         try:
             message = connection.recv()
-        except (EOFError, OSError):
+        except (EOFError, OSError) as error:
+            # The parent closed the pipe (shutdown or manager death): the
+            # child's only remaining duty is to exit.
+            _log.debug("worker_pipe_closed", error=str(error))
             break
         if message is None:
             break
@@ -394,8 +397,9 @@ class ProcessWorkerPool:
                 try:
                     if process is not None and process.is_alive():
                         connection.send(None)
-                except (BrokenPipeError, OSError):
-                    pass
+                except (BrokenPipeError, OSError) as error:
+                    # The child already died; terminate() below cleans up.
+                    _log.debug("worker_stop_send_failed", error=str(error))
                 connection.close()
             if process is not None:
                 process.join(timeout=0.5)
@@ -431,8 +435,10 @@ class ProcessWorkerPool:
         if slot.connection is not None:
             try:
                 slot.connection.close()
-            except OSError:
-                pass
+            except OSError as error:
+                # A half-dead pipe refusing to close is already as closed
+                # as it is going to get.
+                _log.debug("worker_pipe_close_failed", error=str(error))
         slot.restarts += 1
         _WORKER_RESTARTS.inc(worker=str(slot.index))
         _log.warning(
